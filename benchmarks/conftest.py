@@ -1,0 +1,48 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper.  The corpora
+are prepared once per session (and cached by ``prepare_corpus``), the
+pytest-benchmark fixture times the interesting computation, and every
+benchmark *prints* the regenerated rows/series so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the paper's evaluation output in one go.  The printed reports are
+also collected and written to ``benchmarks/last_run_reports.txt`` at the end
+of the session for later inspection.
+"""
+
+from __future__ import annotations
+
+import warnings
+from pathlib import Path
+from typing import List
+
+import pytest
+
+from repro.utils.errors import ConvergenceWarning
+
+warnings.filterwarnings("ignore", category=ConvergenceWarning)
+
+#: Scale used by all benchmarks (kept small enough for a laptop session).
+BENCH_SCALE = 0.5
+BENCH_SEED = 7
+BENCH_QUERIES = 32
+BENCH_CONCEPTS = 30
+
+_collected_reports: List[str] = []
+
+
+def record_report(text: str) -> None:
+    """Print a regenerated table/figure and remember it for the session dump."""
+    print("\n" + text)
+    _collected_reports.append(text)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _dump_reports_at_end():
+    yield
+    if not _collected_reports:
+        return
+    output = Path(__file__).parent / "last_run_reports.txt"
+    output.write_text("\n\n".join(_collected_reports) + "\n", encoding="utf-8")

@@ -1,0 +1,59 @@
+"""Benchmark / regeneration of Figure 4: NDCG@N of six rankers on three datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.reporting import format_series
+from repro.experiments import fig4_ndcg
+
+from conftest import BENCH_CONCEPTS, BENCH_QUERIES, BENCH_SCALE, BENCH_SEED, record_report
+
+CUTOFFS = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 15, 20)
+
+
+@pytest.mark.parametrize("profile", ["delicious", "bibsonomy", "lastfm"])
+def test_bench_fig4_ndcg(benchmark, profile):
+    evaluation = benchmark.pedantic(
+        fig4_ndcg.run_single_dataset,
+        args=(profile,),
+        kwargs={
+            "scale": BENCH_SCALE,
+            "seed": BENCH_SEED,
+            "num_queries": BENCH_QUERIES,
+            "cutoffs": CUTOFFS,
+            "num_concepts": BENCH_CONCEPTS,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    series = {
+        name: method.ndcg_series(CUTOFFS)
+        for name, method in evaluation.methods.items()
+    }
+    record_report(
+        format_series(
+            series,
+            x_values=CUTOFFS,
+            x_label="NDCG@N",
+            title=f"Figure 4 ({profile}): NDCG@N per ranking method",
+            digits=3,
+        )
+    )
+
+    assert set(evaluation.methods) == {
+        "cubelsi",
+        "cubesim",
+        "folkrank",
+        "freq",
+        "lsi",
+        "bow",
+    }
+    for method in evaluation.methods.values():
+        values = method.ndcg_series(CUTOFFS)
+        assert len(values) == len(CUTOFFS)
+        assert all(0.0 <= value <= 1.0 for value in values)
+    # Every method must actually retrieve something for a healthy fraction
+    # of queries: NDCG@20 clearly above zero.
+    for name, method in evaluation.methods.items():
+        assert method.ndcg_by_cutoff[20] > 0.05, name

@@ -1,0 +1,32 @@
+"""Benchmark / regeneration of Figure 5: pre-processing time vs reduction ratio."""
+
+from __future__ import annotations
+
+from repro.experiments import fig5_reduction_sweep
+
+from conftest import BENCH_SCALE, BENCH_SEED, record_report
+
+RATIOS = (2.0, 3.0, 5.0, 8.0, 12.0, 20.0, 40.0)
+
+
+def test_bench_fig5_reduction_ratio_sweep(benchmark):
+    report = benchmark.pedantic(
+        fig5_reduction_sweep.run,
+        kwargs={
+            "scale": BENCH_SCALE,
+            "seed": BENCH_SEED,
+            "ratios": RATIOS,
+            "num_concepts": 25,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    record_report(report.render())
+    times = report.series["cubelsi_preprocessing_seconds"]
+    assert len(times) == len(RATIOS)
+    assert all(t > 0 for t in times)
+    # Paper Fig. 5 shape: larger reduction ratios (smaller cores) make the
+    # offline stage cheaper.  Allow timing jitter between adjacent points but
+    # require the end-to-end trend to hold clearly.
+    assert times[-1] < times[0]
+    assert min(times[len(times) // 2 :]) <= min(times[: len(times) // 2])

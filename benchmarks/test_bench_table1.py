@@ -1,0 +1,26 @@
+"""Benchmark / regeneration of Table I: tag pairs and their semantic relations."""
+
+from __future__ import annotations
+
+from repro.experiments import table1_tag_pairs
+
+from conftest import BENCH_CONCEPTS, BENCH_SCALE, BENCH_SEED, record_report
+
+
+def test_bench_table1_tag_pairs(benchmark):
+    report = benchmark.pedantic(
+        table1_tag_pairs.run,
+        kwargs={
+            "scale": BENCH_SCALE,
+            "seed": BENCH_SEED,
+            "num_concepts": BENCH_CONCEPTS,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    record_report(report.render())
+    assert report.rows, "no tag pairs survived cleaning at the benchmark scale"
+    for row in report.rows:
+        assert row["Human-judged"] in ("Y", "N")
+        assert row["CubeLSI"] in ("Y", "N")
+        assert row["LSI"] in ("Y", "N")

@@ -1,0 +1,26 @@
+"""Benchmark / regeneration of Table II: dataset statistics raw vs cleaned."""
+
+from __future__ import annotations
+
+from repro.experiments import table2_datasets
+
+from conftest import BENCH_SCALE, BENCH_SEED, record_report
+
+
+def test_bench_table2_dataset_statistics(benchmark):
+    report = benchmark.pedantic(
+        table2_datasets.run,
+        kwargs={"scale": BENCH_SCALE, "seed": BENCH_SEED},
+        iterations=1,
+        rounds=1,
+    )
+    record_report(report.render())
+    assert len(report.rows) == 6
+    by_dataset = {}
+    for row in report.rows:
+        by_dataset.setdefault(row["Dataset"], {})[row["Variant"]] = row
+    for variants in by_dataset.values():
+        # Cleaning must only ever shrink the corpus (paper Table II shape).
+        assert variants["cleaned"]["|Y|"] <= variants["raw"]["|Y|"]
+        assert variants["cleaned"]["|T|"] <= variants["raw"]["|T|"]
+        assert variants["cleaned"]["|U|"] <= variants["raw"]["|U|"]

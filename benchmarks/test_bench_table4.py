@@ -1,0 +1,35 @@
+"""Benchmark / regeneration of Table IV: sample tag clusters found by CubeLSI."""
+
+from __future__ import annotations
+
+from repro.experiments import table4_clusters
+
+from conftest import BENCH_CONCEPTS, BENCH_SCALE, BENCH_SEED, record_report
+
+
+def test_bench_table4_sample_tag_clusters(benchmark):
+    report = benchmark.pedantic(
+        table4_clusters.run,
+        kwargs={
+            "scale": BENCH_SCALE,
+            "seed": BENCH_SEED,
+            "num_concepts": BENCH_CONCEPTS,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    record_report(report.render())
+    assert report.rows, "no multi-tag clusters with identifiable correlation types"
+    allowed = {
+        "synonyms",
+        "cognates (cross-language)",
+        "inflection & derivation",
+        "abbreviations",
+    }
+    observed = set()
+    for row in report.rows:
+        observed.update(str(row["Type of correlation"]).split("; "))
+    assert observed <= allowed
+    # The clusters should exhibit more than just plain synonyms, as in the
+    # paper's Table IV.
+    assert len(observed) >= 2

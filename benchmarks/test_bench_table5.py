@@ -1,0 +1,27 @@
+"""Benchmark / regeneration of Table V: pre-processing time CubeLSI vs CubeSim."""
+
+from __future__ import annotations
+
+from repro.experiments import table5_preprocessing
+
+from conftest import BENCH_CONCEPTS, BENCH_SCALE, BENCH_SEED, record_report
+
+
+def test_bench_table5_preprocessing_time(benchmark):
+    report = benchmark.pedantic(
+        table5_preprocessing.run,
+        kwargs={
+            "scale": BENCH_SCALE,
+            "seed": BENCH_SEED,
+            "num_concepts": BENCH_CONCEPTS,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    record_report(report.render())
+    rows = {row["Method"]: row for row in report.rows}
+    assert set(rows) == {"CubeLSI", "CubeSim"}
+    # Paper Table V shape: the Theorem-1/2 shortcut makes CubeLSI's offline
+    # stage cheaper than CubeSim's raw slice distances on every dataset.
+    for dataset in ("delicious", "bibsonomy", "lastfm"):
+        assert rows["CubeLSI"][dataset] < rows["CubeSim"][dataset]

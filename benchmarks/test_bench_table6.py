@@ -1,0 +1,28 @@
+"""Benchmark / regeneration of Table VI: query time CubeLSI vs FolkRank."""
+
+from __future__ import annotations
+
+from repro.experiments import table6_query_time
+
+from conftest import BENCH_CONCEPTS, BENCH_QUERIES, BENCH_SCALE, BENCH_SEED, record_report
+
+
+def test_bench_table6_query_processing_time(benchmark):
+    report = benchmark.pedantic(
+        table6_query_time.run,
+        kwargs={
+            "scale": BENCH_SCALE,
+            "seed": BENCH_SEED,
+            "num_queries": BENCH_QUERIES,
+            "num_concepts": BENCH_CONCEPTS,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    record_report(report.render())
+    rows = {row["Method"]: row for row in report.rows}
+    assert set(rows) == {"CubeLSI", "FolkRank"}
+    # Paper Table VI shape: CubeLSI's cosine lookups are far cheaper than
+    # FolkRank's per-query weight propagation, on every dataset.
+    for dataset in ("delicious", "bibsonomy", "lastfm"):
+        assert rows["CubeLSI"][dataset] < rows["FolkRank"][dataset]

@@ -1,0 +1,26 @@
+"""Benchmark / regeneration of Table VII: memory of F-hat vs S and Y(2)."""
+
+from __future__ import annotations
+
+from repro.experiments import table7_memory
+
+from conftest import BENCH_CONCEPTS, BENCH_SCALE, BENCH_SEED, record_report
+
+
+def test_bench_table7_memory_requirements(benchmark):
+    report = benchmark.pedantic(
+        table7_memory.run,
+        kwargs={
+            "scale": BENCH_SCALE,
+            "seed": BENCH_SEED,
+            "num_concepts": BENCH_CONCEPTS,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    record_report(report.render())
+    assert len(report.rows) == 3
+    # Paper Table VII shape: storing the core tensor plus the tag factor is
+    # orders of magnitude smaller than materialising the dense F-hat.
+    for row in report.rows:
+        assert row["Reduction factor"] > 10.0

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Study the reduction-ratio trade-off (paper Section IV-C and Figure 5).
+
+The reduction ratios ``c1, c2, c3`` control the size of the Tucker core:
+larger ratios mean a smaller core, less pre-processing time and less memory,
+at the cost of a coarser latent space.  The paper settles on ``c = 50``.
+
+This script sweeps the tag-mode reduction ratio on a Bibsonomy-profile
+corpus and reports, for every setting:
+
+* the core dimensions and offline pre-processing time (Figure 5),
+* the storage needed for ``S`` and ``Y(2)`` versus dense ``F_hat`` (Table VII),
+* the semantic accuracy of the resulting tag distances (Table III metrics),
+
+so the efficiency/quality trade-off is visible in one table.
+
+Run with::
+
+    python examples/reduction_ratio_tuning.py
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.baselines.cubelsi_ranker import CubeLSIRanker
+from repro.datasets.profiles import BIBSONOMY_PROFILE, generate_profile_dataset
+from repro.datasets.queries import build_query_workload
+from repro.eval.reporting import format_bytes, format_table
+from repro.semantics.evaluation import evaluate_tag_distances
+from repro.semantics.lexicon import build_lexicon
+from repro.tagging.cleaning import CleaningConfig, clean_folksonomy
+from repro.utils.errors import ConvergenceWarning
+
+warnings.filterwarnings("ignore", category=ConvergenceWarning)
+
+TAG_MODE_RATIOS = (2.0, 3.0, 5.0, 10.0, 20.0)
+
+
+def main() -> None:
+    dataset = generate_profile_dataset(BIBSONOMY_PROFILE, scale=0.5, seed=7)
+    cleaned, report = clean_folksonomy(
+        dataset.folksonomy, CleaningConfig(min_assignments=5)
+    )
+    print(report.summary())
+    lexicon = build_lexicon(dataset, folksonomy=cleaned)
+    workload = build_query_workload(
+        dataset, num_queries=16, seed=11, folksonomy=cleaned
+    )
+
+    rows = []
+    for ratio in TAG_MODE_RATIOS:
+        ranker = CubeLSIRanker(
+            reduction_ratios=(25.0, ratio, 40.0),
+            num_concepts=25,
+            seed=7,
+            min_rank=2,
+        ).fit(cleaned)
+        result = ranker.offline_index.cubelsi_result
+        accuracy = evaluate_tag_distances(
+            ranker.tag_distances, cleaned.tags, lexicon, method=f"c2={ratio}"
+        )
+        memory = result.memory_report()
+        # quick sanity check that the engine still answers queries
+        answered = sum(
+            1 for query in workload if ranker.rank(list(query.tags), top_k=10)
+        )
+        rows.append(
+            {
+                "c2 (tag ratio)": ratio,
+                "Core dims": "x".join(str(r) for r in result.ranks),
+                "Offline (s)": round(ranker.timings.fit_seconds, 3),
+                "S+Y(2) size": format_bytes(memory["core_plus_tag_factor_bytes"]),
+                "JCN avg": round(accuracy.jcn_avg, 2),
+                "Rank avg": round(accuracy.rank_avg, 2),
+                "Queries answered": f"{answered}/{len(workload)}",
+            }
+        )
+
+    print()
+    print(
+        format_table(
+            rows,
+            title=(
+                "Reduction-ratio trade-off on the Bibsonomy profile "
+                "(cf. paper Figure 5 / Tables III and VII)"
+            ),
+        )
+    )
+    print()
+    print(
+        "Larger ratios shrink the core (cheaper, smaller) while the distance "
+        "quality degrades gracefully — the behaviour the paper reports when "
+        "settling on c = 50 for its full-size datasets."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""The five comparison ranking methods of Section VI-B plus CubeLSI's wrapper.
+
+Every method implements the common :class:`~repro.baselines.base.Ranker`
+interface (``fit(folksonomy)`` then ``rank(query_tags)``), so the ranking
+quality and efficiency experiments can iterate over a uniform registry:
+
+* :mod:`repro.baselines.freq` — the Freq tagger-vote heuristic,
+* :mod:`repro.baselines.bow` — bag-of-words tf-idf over raw tags,
+* :mod:`repro.baselines.lsi` — traditional 2-D LSI on the tag-resource matrix,
+* :mod:`repro.baselines.cubesim` — tensor-slice distances without decomposition,
+* :mod:`repro.baselines.folkrank` — FolkRank personalised weight propagation
+  over the tripartite graph (with the underlying PageRank substrate in
+  :mod:`repro.baselines.pagerank`),
+* :mod:`repro.baselines.cubelsi_ranker` — CubeLSI itself behind the same
+  interface.
+"""
+
+from repro.baselines.base import Ranker, RankedList, RankerTimings
+from repro.baselines.freq import FreqRanker
+from repro.baselines.bow import BowRanker
+from repro.baselines.lsi import LsiRanker
+from repro.baselines.cubesim import CubeSimRanker
+from repro.baselines.folkrank import FolkRankRanker
+from repro.baselines.pagerank import personalized_pagerank
+from repro.baselines.cubelsi_ranker import CubeLSIRanker
+from repro.baselines.registry import build_ranker, default_ranker_names, build_all_rankers
+
+__all__ = [
+    "Ranker",
+    "RankedList",
+    "RankerTimings",
+    "FreqRanker",
+    "BowRanker",
+    "LsiRanker",
+    "CubeSimRanker",
+    "FolkRankRanker",
+    "personalized_pagerank",
+    "CubeLSIRanker",
+    "build_ranker",
+    "default_ranker_names",
+    "build_all_rankers",
+]

@@ -1,0 +1,108 @@
+"""Common interface shared by all ranking methods.
+
+A :class:`Ranker` is fitted once on a folksonomy (the offline component) and
+then answers tag queries with a ranked list of resources (the online
+component).  Fit and query wall-clock times are recorded so the efficiency
+experiments (Tables V and VI) can read them off any ranker uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.tagging.folksonomy import Folksonomy
+from repro.utils.errors import NotFittedError
+from repro.utils.timing import Timer
+
+#: A ranked list: ``(resource, score)`` pairs sorted by decreasing score.
+RankedList = List[Tuple[str, float]]
+
+
+@dataclass
+class RankerTimings:
+    """Wall-clock bookkeeping of a ranker."""
+
+    fit_seconds: float = 0.0
+    query_seconds_total: float = 0.0
+    queries_processed: int = 0
+    breakdown: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_query_seconds(self) -> float:
+        if self.queries_processed == 0:
+            return 0.0
+        return self.query_seconds_total / self.queries_processed
+
+
+class Ranker(abc.ABC):
+    """Abstract base class of every ranking method in the evaluation."""
+
+    #: short identifier used in experiment tables ("cubelsi", "bow", ...)
+    name: str = "ranker"
+
+    def __init__(self) -> None:
+        self._folksonomy: Optional[Folksonomy] = None
+        self.timings = RankerTimings()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def fit(self, folksonomy: Folksonomy) -> "Ranker":
+        """Run the offline component on ``folksonomy``; returns ``self``."""
+        timer = Timer().start()
+        self._fit(folksonomy)
+        self.timings.fit_seconds = timer.stop()
+        self._folksonomy = folksonomy
+        return self
+
+    def rank(
+        self, query_tags: Sequence[str], top_k: Optional[int] = None
+    ) -> RankedList:
+        """Rank resources for a tag query (offline model must be fitted)."""
+        if self._folksonomy is None:
+            raise NotFittedError(f"{type(self).__name__}.fit() has not been called")
+        timer = Timer().start()
+        ranked = self._rank(list(query_tags), top_k)
+        elapsed = timer.stop()
+        self.timings.query_seconds_total += elapsed
+        self.timings.queries_processed += 1
+        if top_k is not None:
+            ranked = ranked[:top_k]
+        return ranked
+
+    def ranked_resources(
+        self, query_tags: Sequence[str], top_k: Optional[int] = None
+    ) -> List[str]:
+        """Only the resource ids of :meth:`rank`, in order."""
+        return [resource for resource, _score in self.rank(query_tags, top_k)]
+
+    @property
+    def folksonomy(self) -> Folksonomy:
+        if self._folksonomy is None:
+            raise NotFittedError(f"{type(self).__name__}.fit() has not been called")
+        return self._folksonomy
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._folksonomy is not None
+
+    # ------------------------------------------------------------------ #
+    # To implement
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _fit(self, folksonomy: Folksonomy) -> None:
+        """Offline computation (index building, decompositions, ...)."""
+
+    @abc.abstractmethod
+    def _rank(self, query_tags: List[str], top_k: Optional[int]) -> RankedList:
+        """Online computation: score and sort resources for a query."""
+
+    # ------------------------------------------------------------------ #
+    # Helpers shared by subclasses
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _sort_ranked(scores: Dict[str, float]) -> RankedList:
+        """Deterministically sort a ``resource -> score`` map."""
+        return sorted(scores.items(), key=lambda pair: (-pair[1], pair[0]))

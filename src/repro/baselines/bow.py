@@ -1,0 +1,39 @@
+"""The BOW (bag-of-words) baseline (Section VI-B).
+
+Classical document retrieval applied verbatim: each resource is a document,
+each tag is a word, tf-idf weights and cosine similarity — no tagger
+information and no semantic analysis.  Implemented by feeding the *identity*
+concept model (every tag is its own concept) through the same vector-space
+machinery CubeLSI uses, which keeps the comparison apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baselines.base import RankedList, Ranker
+from repro.core.concepts import identity_concept_model
+from repro.search.engine import SearchEngine
+from repro.tagging.folksonomy import Folksonomy
+
+
+class BowRanker(Ranker):
+    """tf-idf + cosine over raw tags."""
+
+    name = "bow"
+
+    def __init__(self, smooth_idf: bool = False) -> None:
+        super().__init__()
+        self._smooth_idf = smooth_idf
+        self._engine: Optional[SearchEngine] = None
+
+    def _fit(self, folksonomy: Folksonomy) -> None:
+        concept_model = identity_concept_model(folksonomy.tags)
+        self._engine = SearchEngine.build(
+            folksonomy, concept_model, smooth_idf=self._smooth_idf, name=self.name
+        )
+
+    def _rank(self, query_tags: List[str], top_k: Optional[int]) -> RankedList:
+        assert self._engine is not None
+        results = self._engine.search(query_tags, top_k=top_k)
+        return [(r.resource, r.score) for r in results]

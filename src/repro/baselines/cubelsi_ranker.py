@@ -1,0 +1,72 @@
+"""CubeLSI wrapped in the common :class:`Ranker` interface.
+
+The evaluation experiments iterate over a registry of rankers; this wrapper
+lets CubeLSI participate without duplicating the pipeline logic in
+:mod:`repro.core.pipeline`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.baselines.base import RankedList, Ranker
+from repro.core.concepts import ConceptModel
+from repro.core.pipeline import CubeLSIPipeline, OfflineIndex
+from repro.tagging.folksonomy import Folksonomy
+from repro.utils.rng import SeedLike
+
+
+class CubeLSIRanker(Ranker):
+    """The full CubeLSI pipeline behind the shared ranking interface."""
+
+    name = "cubelsi"
+
+    def __init__(
+        self,
+        reduction_ratios: Optional[Union[float, Sequence[float]]] = None,
+        ranks: Optional[Sequence[int]] = None,
+        num_concepts: Optional[int] = None,
+        sigma: float = 1.0,
+        max_iter: int = 25,
+        seed: SeedLike = 0,
+        min_rank: int = 8,
+    ) -> None:
+        super().__init__()
+        self._pipeline = CubeLSIPipeline(
+            reduction_ratios=reduction_ratios,
+            ranks=ranks,
+            num_concepts=num_concepts,
+            sigma=sigma,
+            max_iter=max_iter,
+            seed=seed,
+            min_rank=min_rank,
+        )
+        self._index: Optional[OfflineIndex] = None
+
+    def _fit(self, folksonomy: Folksonomy) -> None:
+        self._index = self._pipeline.fit(folksonomy)
+        self.timings.breakdown.update(self._index.timings)
+
+    def _rank(self, query_tags: List[str], top_k: Optional[int]) -> RankedList:
+        assert self._index is not None
+        results = self._index.engine.search(query_tags, top_k=top_k)
+        return [(r.resource, r.score) for r in results]
+
+    # ------------------------------------------------------------------ #
+    # Introspection used by the semantic-accuracy experiments
+    # ------------------------------------------------------------------ #
+    @property
+    def offline_index(self) -> OfflineIndex:
+        if self._index is None:
+            raise RuntimeError("CubeLSIRanker has not been fitted yet")
+        return self._index
+
+    @property
+    def tag_distances(self) -> np.ndarray:
+        return self.offline_index.cubelsi_result.distances
+
+    @property
+    def concept_model(self) -> ConceptModel:
+        return self.offline_index.concept_model

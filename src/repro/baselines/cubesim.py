@@ -1,0 +1,77 @@
+"""The CubeSim baseline (Section VI-B).
+
+CubeSim keeps the tagger dimension but skips the Tucker decomposition: tag
+distances are Frobenius norms of differences of *raw* tensor slices
+``||F[:, t_i, :] - F[:, t_j, :]||_F`` (Eq. 8).  Concept distillation and
+ranking then proceed exactly as in CubeLSI.  The paper uses CubeSim to make
+two points: the raw distances are noisier (Table III) and computing them is
+far more expensive than the Theorem-1/2 shortcut (Table V).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.base import RankedList, Ranker
+from repro.core.concepts import ConceptModel, distill_concepts
+from repro.core.distances import raw_slice_distances
+from repro.search.engine import SearchEngine
+from repro.tagging.folksonomy import Folksonomy
+from repro.utils.rng import SeedLike
+
+
+class CubeSimRanker(Ranker):
+    """Raw tensor-slice distances + concept distillation + concept VSM."""
+
+    name = "cubesim"
+
+    def __init__(
+        self,
+        num_concepts: Optional[int] = None,
+        sigma: float = 1.0,
+        seed: SeedLike = 0,
+    ) -> None:
+        super().__init__()
+        self._num_concepts = num_concepts
+        self._sigma = sigma
+        self._seed = seed
+        self._engine: Optional[SearchEngine] = None
+        self._concept_model: Optional[ConceptModel] = None
+        self._tag_distances: Optional[np.ndarray] = None
+
+    def _fit(self, folksonomy: Folksonomy) -> None:
+        tensor = folksonomy.to_tensor()
+        self._tag_distances = raw_slice_distances(tensor)
+
+        num_concepts = self._num_concepts
+        if num_concepts is not None:
+            num_concepts = min(num_concepts, folksonomy.num_tags)
+        self._concept_model = distill_concepts(
+            self._tag_distances,
+            tags=folksonomy.tags,
+            num_concepts=num_concepts,
+            sigma=self._sigma,
+            seed=self._seed,
+        )
+        self._engine = SearchEngine.build(
+            folksonomy, self._concept_model, name=self.name
+        )
+
+    def _rank(self, query_tags: List[str], top_k: Optional[int]) -> RankedList:
+        assert self._engine is not None
+        results = self._engine.search(query_tags, top_k=top_k)
+        return [(r.resource, r.score) for r in results]
+
+    @property
+    def tag_distances(self) -> np.ndarray:
+        if self._tag_distances is None:
+            raise RuntimeError("CubeSimRanker has not been fitted yet")
+        return self._tag_distances
+
+    @property
+    def concept_model(self) -> ConceptModel:
+        if self._concept_model is None:
+            raise RuntimeError("CubeSimRanker has not been fitted yet")
+        return self._concept_model

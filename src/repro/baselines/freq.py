@@ -1,0 +1,55 @@
+"""The Freq baseline (Section VI-B).
+
+For a query ``q`` and resource ``r`` with tag set ``tags(r)``,
+
+    Sim_freq(q, r) = sum_{t in q ∩ tags(r)} |users(t, r)|
+                     ------------------------------------
+                     sum_{t in tags(r)}     |users(t, r)|
+
+i.e. the fraction of tagging "votes" on ``r`` that used one of the query
+tags.  It uses the tagger dimension (through the user counts) but performs
+no semantic analysis at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.baselines.base import RankedList, Ranker
+from repro.tagging.folksonomy import Folksonomy
+
+
+class FreqRanker(Ranker):
+    """Tagger-vote-fraction ranking."""
+
+    name = "freq"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: resource -> {tag -> number of distinct users who used it there}
+        self._votes: Dict[str, Dict[str, int]] = {}
+        #: resource -> total votes over all its tags
+        self._total_votes: Dict[str, float] = {}
+
+    def _fit(self, folksonomy: Folksonomy) -> None:
+        self._votes = {}
+        self._total_votes = {}
+        for resource in folksonomy.resources:
+            votes = {
+                tag: len(folksonomy.users_of(tag, resource))
+                for tag in folksonomy.tags_of_resource(resource)
+            }
+            self._votes[resource] = votes
+            self._total_votes[resource] = float(sum(votes.values()))
+
+    def _rank(self, query_tags: List[str], top_k: Optional[int]) -> RankedList:
+        query = set(query_tags)
+        scores: Dict[str, float] = {}
+        for resource, votes in self._votes.items():
+            total = self._total_votes[resource]
+            if total == 0.0:
+                continue
+            matched = sum(count for tag, count in votes.items() if tag in query)
+            if matched > 0:
+                scores[resource] = matched / total
+        return self._sort_ranked(scores)

@@ -1,0 +1,114 @@
+"""The LSI baseline (Section VI-B).
+
+Traditional latent semantic indexing: project the third-order tensor onto
+the 2-D tag-resource matrix (dropping the tagger dimension), run a truncated
+SVD, derive pairwise tag distances in the latent space, cluster tags into
+concepts and rank with the same concept-space VSM CubeLSI uses.  The only
+difference from CubeLSI is therefore the missing tagger dimension — exactly
+the comparison the paper draws.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.base import RankedList, Ranker
+from repro.core.concepts import ConceptModel, distill_concepts
+from repro.search.engine import SearchEngine
+from repro.tagging.folksonomy import Folksonomy
+from repro.tensor.hosvd import truncated_svd
+from repro.utils.rng import SeedLike
+
+
+class LsiRanker(Ranker):
+    """2-D LSI on the user-aggregated tag-resource matrix."""
+
+    name = "lsi"
+
+    def __init__(
+        self,
+        rank: Optional[int] = None,
+        reduction_ratio: float = 50.0,
+        num_concepts: Optional[int] = None,
+        sigma: float = 1.0,
+        seed: SeedLike = 0,
+        min_rank: int = 8,
+    ) -> None:
+        super().__init__()
+        self._target_rank = rank
+        self._reduction_ratio = reduction_ratio
+        self._num_concepts = num_concepts
+        self._sigma = sigma
+        self._seed = seed
+        self._min_rank = min_rank
+        self._engine: Optional[SearchEngine] = None
+        self._concept_model: Optional[ConceptModel] = None
+        self._tag_distances: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # Offline
+    # ------------------------------------------------------------------ #
+    def _fit(self, folksonomy: Folksonomy) -> None:
+        matrix = folksonomy.to_tag_resource_matrix()
+        rank = self._resolve_rank(matrix.shape)
+        u, s, _vt = truncated_svd(matrix, rank, seed=self._seed)
+
+        # In the latent space each tag i is the row u_i scaled by the
+        # singular values; distances there mirror distances between the
+        # rank-reduced tag-resource rows (the classical LSI similarity).
+        latent = u * s[None, :]
+        squared_norms = np.sum(latent * latent, axis=1)
+        gram = latent @ latent.T
+        squared = np.maximum(
+            squared_norms[:, None] + squared_norms[None, :] - 2.0 * gram, 0.0
+        )
+        distances = np.sqrt(squared)
+        np.fill_diagonal(distances, 0.0)
+        self._tag_distances = (distances + distances.T) / 2.0
+
+        num_concepts = self._num_concepts
+        if num_concepts is not None:
+            num_concepts = min(num_concepts, folksonomy.num_tags)
+        self._concept_model = distill_concepts(
+            self._tag_distances,
+            tags=folksonomy.tags,
+            num_concepts=num_concepts,
+            sigma=self._sigma,
+            seed=self._seed,
+        )
+        self._engine = SearchEngine.build(
+            folksonomy, self._concept_model, name=self.name
+        )
+
+    # ------------------------------------------------------------------ #
+    # Online
+    # ------------------------------------------------------------------ #
+    def _rank(self, query_tags: List[str], top_k: Optional[int]) -> RankedList:
+        assert self._engine is not None
+        results = self._engine.search(query_tags, top_k=top_k)
+        return [(r.resource, r.score) for r in results]
+
+    # ------------------------------------------------------------------ #
+    # Introspection used by the Table III experiment
+    # ------------------------------------------------------------------ #
+    @property
+    def tag_distances(self) -> np.ndarray:
+        if self._tag_distances is None:
+            raise RuntimeError("LsiRanker has not been fitted yet")
+        return self._tag_distances
+
+    @property
+    def concept_model(self) -> ConceptModel:
+        if self._concept_model is None:
+            raise RuntimeError("LsiRanker has not been fitted yet")
+        return self._concept_model
+
+    def _resolve_rank(self, shape) -> int:
+        max_rank = min(shape)
+        if self._target_rank is not None:
+            return max(1, min(self._target_rank, max_rank))
+        derived = int(round(shape[0] / self._reduction_ratio))
+        derived = max(derived, min(self._min_rank, max_rank))
+        return max(1, min(derived, max_rank))

@@ -1,0 +1,128 @@
+"""Factory for the six ranking methods used in the evaluation.
+
+The experiment drivers refer to rankers by name ("cubelsi", "cubesim",
+"folkrank", "freq", "lsi", "bow"); this module centralises their default
+construction so every table and figure uses consistent hyper-parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.baselines.base import Ranker
+from repro.baselines.bow import BowRanker
+from repro.baselines.cubelsi_ranker import CubeLSIRanker
+from repro.baselines.cubesim import CubeSimRanker
+from repro.baselines.folkrank import FolkRankRanker
+from repro.baselines.freq import FreqRanker
+from repro.baselines.lsi import LsiRanker
+from repro.utils.errors import ConfigurationError
+from repro.utils.rng import SeedLike
+
+#: Order used in figures/tables (mirrors the paper's legend order).
+DEFAULT_RANKER_NAMES = ("cubelsi", "cubesim", "folkrank", "freq", "lsi", "bow")
+
+#: Per-mode reduction ratios (users, tags, resources) used by the ranking
+#: experiments.  The user mode is compressed hard (interest groups are few),
+#: the tag mode gently (concepts are many relative to tags in the scaled
+#: corpora) and the resource mode moderately (archetypes are few).
+DEFAULT_MODE_RATIOS: Tuple[float, float, float] = (25.0, 3.0, 40.0)
+
+RatioLike = Union[float, Sequence[float]]
+
+
+def default_ranker_names() -> List[str]:
+    """The six method names in reporting order."""
+    return list(DEFAULT_RANKER_NAMES)
+
+
+def _normalize_ratios(reduction_ratios: RatioLike) -> Tuple[float, float, float]:
+    if isinstance(reduction_ratios, (int, float)):
+        value = float(reduction_ratios)
+        return (value, value, value)
+    ratios = tuple(float(r) for r in reduction_ratios)
+    if len(ratios) != 3:
+        raise ConfigurationError(
+            "reduction_ratios must be a scalar or a length-3 sequence"
+        )
+    return ratios  # type: ignore[return-value]
+
+
+def build_ranker(
+    name: str,
+    reduction_ratios: RatioLike = DEFAULT_MODE_RATIOS,
+    num_concepts: Optional[int] = None,
+    seed: SeedLike = 0,
+    sigma: float = 1.0,
+    min_rank: int = 4,
+) -> Ranker:
+    """Construct one ranking method by name with experiment-wide defaults.
+
+    Parameters
+    ----------
+    name:
+        One of ``cubelsi``, ``cubesim``, ``folkrank``, ``freq``, ``lsi``,
+        ``bow`` (case-insensitive).
+    reduction_ratios:
+        Either a single reduction ratio applied to all three tensor modes
+        (the paper's style, e.g. 50) or a ``(c1, c2, c3)`` triple.  LSI's
+        latent rank uses the tag-mode ratio so the latent sizes stay
+        comparable across methods.
+    num_concepts:
+        Number of distilled concepts for the semantic methods; ``None``
+        lets the spectrum-coverage rule decide.
+    seed / sigma / min_rank:
+        Shared stochastic seed, affinity bandwidth and minimum latent rank.
+    """
+    ratios = _normalize_ratios(reduction_ratios)
+    normalized = name.strip().lower()
+    factories: Dict[str, Callable[[], Ranker]] = {
+        "cubelsi": lambda: CubeLSIRanker(
+            reduction_ratios=ratios,
+            num_concepts=num_concepts,
+            sigma=sigma,
+            seed=seed,
+            min_rank=min_rank,
+        ),
+        "cubesim": lambda: CubeSimRanker(
+            num_concepts=num_concepts, sigma=sigma, seed=seed
+        ),
+        "folkrank": lambda: FolkRankRanker(),
+        "freq": lambda: FreqRanker(),
+        "lsi": lambda: LsiRanker(
+            reduction_ratio=ratios[1],
+            num_concepts=num_concepts,
+            sigma=sigma,
+            seed=seed,
+            min_rank=min_rank,
+        ),
+        "bow": lambda: BowRanker(),
+    }
+    if normalized not in factories:
+        raise ConfigurationError(
+            f"unknown ranker {name!r}; available: {sorted(factories)}"
+        )
+    return factories[normalized]()
+
+
+def build_all_rankers(
+    names: Optional[Iterable[str]] = None,
+    reduction_ratios: RatioLike = DEFAULT_MODE_RATIOS,
+    num_concepts: Optional[int] = None,
+    seed: SeedLike = 0,
+    sigma: float = 1.0,
+    min_rank: int = 4,
+) -> Dict[str, Ranker]:
+    """Construct several rankers keyed by name (defaults to all six)."""
+    selected = list(names) if names is not None else default_ranker_names()
+    return {
+        name: build_ranker(
+            name,
+            reduction_ratios=reduction_ratios,
+            num_concepts=num_concepts,
+            seed=seed,
+            sigma=sigma,
+            min_rank=min_rank,
+        )
+        for name in selected
+    }

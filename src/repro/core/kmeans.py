@@ -1,0 +1,156 @@
+"""k-means clustering (Lloyd's algorithm with k-means++ seeding).
+
+Used as the final step of the spectral clustering of Section V.  Implemented
+from scratch so the library has no dependency beyond numpy, and so the
+seeding / empty-cluster policies are explicit and testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.errors import ConfigurationError, DimensionError
+from repro.utils.rng import SeedLike, make_rng
+
+
+@dataclass
+class KMeansResult:
+    """Result of a k-means run."""
+
+    labels: np.ndarray
+    centroids: np.ndarray
+    inertia: float
+    iterations: int
+    converged: bool
+
+    @property
+    def num_clusters(self) -> int:
+        return self.centroids.shape[0]
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialisation and restarts.
+
+    Parameters
+    ----------
+    num_clusters:
+        Number of clusters ``k``.
+    max_iter:
+        Maximum Lloyd iterations per restart.
+    num_init:
+        Number of independent restarts; the run with the lowest inertia wins.
+    tol:
+        Convergence threshold on centroid movement (squared Frobenius norm).
+    seed:
+        Seed for the initialisation.
+    """
+
+    def __init__(
+        self,
+        num_clusters: int,
+        max_iter: int = 100,
+        num_init: int = 4,
+        tol: float = 1e-8,
+        seed: SeedLike = 0,
+    ) -> None:
+        if num_clusters < 1:
+            raise ConfigurationError(f"num_clusters must be >= 1, got {num_clusters}")
+        if max_iter < 1:
+            raise ConfigurationError(f"max_iter must be >= 1, got {max_iter}")
+        if num_init < 1:
+            raise ConfigurationError(f"num_init must be >= 1, got {num_init}")
+        self._num_clusters = num_clusters
+        self._max_iter = max_iter
+        self._num_init = num_init
+        self._tol = tol
+        self._seed = seed
+
+    def fit(self, points: np.ndarray) -> KMeansResult:
+        """Cluster the rows of ``points`` into ``num_clusters`` groups."""
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2:
+            raise DimensionError("KMeans expects a 2-D array of row vectors")
+        num_points = points.shape[0]
+        if num_points == 0:
+            raise DimensionError("cannot cluster an empty set of points")
+        k = min(self._num_clusters, num_points)
+
+        rng = make_rng(self._seed)
+        best: Optional[KMeansResult] = None
+        for _ in range(self._num_init):
+            result = self._single_run(points, k, rng)
+            if best is None or result.inertia < best.inertia:
+                best = result
+        assert best is not None
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _single_run(
+        self, points: np.ndarray, k: int, rng: np.random.Generator
+    ) -> KMeansResult:
+        centroids = self._kmeans_plus_plus(points, k, rng)
+        labels = np.zeros(points.shape[0], dtype=int)
+        converged = False
+        iterations = 0
+        for iterations in range(1, self._max_iter + 1):
+            distances = _squared_distances(points, centroids)
+            labels = np.argmin(distances, axis=1)
+            new_centroids = np.empty_like(centroids)
+            for cluster in range(k):
+                members = points[labels == cluster]
+                if members.shape[0] == 0:
+                    # Re-seed an empty cluster at the point farthest from its
+                    # assigned centroid, the standard fix that keeps k stable.
+                    farthest = int(np.argmax(np.min(distances, axis=1)))
+                    new_centroids[cluster] = points[farthest]
+                else:
+                    new_centroids[cluster] = members.mean(axis=0)
+            movement = float(np.sum((new_centroids - centroids) ** 2))
+            centroids = new_centroids
+            if movement <= self._tol:
+                converged = True
+                break
+        distances = _squared_distances(points, centroids)
+        labels = np.argmin(distances, axis=1)
+        inertia = float(np.sum(distances[np.arange(points.shape[0]), labels]))
+        return KMeansResult(
+            labels=labels,
+            centroids=centroids,
+            inertia=inertia,
+            iterations=iterations,
+            converged=converged,
+        )
+
+    @staticmethod
+    def _kmeans_plus_plus(
+        points: np.ndarray, k: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """k-means++ seeding: spread the initial centroids out."""
+        num_points = points.shape[0]
+        centroids = np.empty((k, points.shape[1]), dtype=float)
+        first = int(rng.integers(num_points))
+        centroids[0] = points[first]
+        closest = _squared_distances(points, centroids[:1]).ravel()
+        for index in range(1, k):
+            total = closest.sum()
+            if total <= 0:
+                choice = int(rng.integers(num_points))
+            else:
+                choice = int(rng.choice(num_points, p=closest / total))
+            centroids[index] = points[choice]
+            new_distances = _squared_distances(points, centroids[index : index + 1]).ravel()
+            closest = np.minimum(closest, new_distances)
+        return centroids
+
+
+def _squared_distances(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between every point and every centroid."""
+    point_norms = np.sum(points * points, axis=1)[:, None]
+    centroid_norms = np.sum(centroids * centroids, axis=1)[None, :]
+    cross = points @ centroids.T
+    return np.maximum(point_norms + centroid_norms - 2.0 * cross, 0.0)

@@ -1,0 +1,146 @@
+"""The end-to-end offline CubeLSI pipeline (Figure 1, left column).
+
+``CubeLSIPipeline.fit`` takes a (cleaned) folksonomy and produces an
+:class:`OfflineIndex` containing everything the online component needs:
+
+1. the third-order tensor is built from the tag assignments,
+2. Tucker-ALS + Theorems 1/2 yield purified pairwise tag distances,
+3. spectral clustering distils tags into concepts,
+4. every resource's bag of tags is mapped to a bag of concepts and indexed
+   with tf-idf weights.
+
+The resulting :class:`~repro.search.engine.SearchEngine` answers queries with
+plain cosine similarity — the cheap online step of Table VI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.concepts import ConceptModel, distill_concepts
+from repro.core.cubelsi import CubeLSI, CubeLSIResult
+from repro.search.engine import SearchEngine
+from repro.tagging.folksonomy import Folksonomy
+from repro.utils.errors import ConfigurationError, NotFittedError
+from repro.utils.rng import SeedLike
+from repro.utils.timing import Stopwatch
+
+
+@dataclass
+class OfflineIndex:
+    """Everything produced by the offline component of Figure 1."""
+
+    folksonomy: Folksonomy
+    cubelsi_result: CubeLSIResult
+    concept_model: ConceptModel
+    engine: SearchEngine
+    timings: Dict[str, float]
+
+    @property
+    def num_concepts(self) -> int:
+        return self.concept_model.num_concepts
+
+    def preprocessing_seconds(self) -> float:
+        """Total offline time (decomposition + distances + clustering + indexing)."""
+        return float(sum(self.timings.values()))
+
+
+class CubeLSIPipeline:
+    """Configure once, then ``fit`` on any folksonomy.
+
+    Parameters
+    ----------
+    reduction_ratios / ranks:
+        Passed to :class:`~repro.core.cubelsi.CubeLSI` (the paper's default
+        is a reduction ratio of 50 on every mode).
+    num_concepts:
+        Number of concepts for spectral clustering; ``None`` uses the
+        eigenvalue coverage rule.
+    sigma:
+        Affinity bandwidth for spectral clustering.
+    max_iter / tol:
+        ALS stopping parameters.
+    seed:
+        Single seed driving ALS initialisation and k-means restarts.
+    smooth_idf:
+        Passed to the vector space (the paper uses plain idf).
+    """
+
+    def __init__(
+        self,
+        reduction_ratios: Optional[Union[float, Sequence[float]]] = None,
+        ranks: Optional[Sequence[int]] = None,
+        num_concepts: Optional[int] = None,
+        sigma: float = 1.0,
+        max_iter: int = 25,
+        tol: float = 1e-6,
+        seed: SeedLike = 0,
+        smooth_idf: bool = False,
+        min_rank: int = 8,
+    ) -> None:
+        self._cubelsi = CubeLSI(
+            ranks=ranks,
+            reduction_ratios=reduction_ratios,
+            max_iter=max_iter,
+            tol=tol,
+            seed=seed,
+            min_rank=min_rank,
+        )
+        if num_concepts is not None and num_concepts < 1:
+            raise ConfigurationError("num_concepts must be >= 1 when given")
+        self._num_concepts = num_concepts
+        self._sigma = sigma
+        self._seed = seed
+        self._smooth_idf = smooth_idf
+        self._last_index: Optional[OfflineIndex] = None
+
+    def fit(self, folksonomy: Folksonomy) -> OfflineIndex:
+        """Run the full offline pipeline on ``folksonomy``."""
+        if folksonomy.num_assignments == 0:
+            raise ConfigurationError("cannot index an empty folksonomy")
+        watch = Stopwatch()
+
+        with watch.section("cubelsi"):
+            cubelsi_result = self._cubelsi.fit(folksonomy)
+
+        with watch.section("concept_distillation"):
+            concept_model = distill_concepts(
+                cubelsi_result.distances,
+                tags=folksonomy.tags,
+                num_concepts=self._effective_num_concepts(folksonomy),
+                sigma=self._sigma,
+                seed=self._seed,
+            )
+
+        with watch.section("indexing"):
+            engine = SearchEngine.build(
+                folksonomy,
+                concept_model,
+                smooth_idf=self._smooth_idf,
+                name="cubelsi",
+            )
+
+        index = OfflineIndex(
+            folksonomy=folksonomy,
+            cubelsi_result=cubelsi_result,
+            concept_model=concept_model,
+            engine=engine,
+            timings=watch.totals(),
+        )
+        self._last_index = index
+        return index
+
+    @property
+    def last_index(self) -> OfflineIndex:
+        if self._last_index is None:
+            raise NotFittedError("CubeLSIPipeline has not been fitted yet")
+        return self._last_index
+
+    def _effective_num_concepts(self, folksonomy: Folksonomy) -> Optional[int]:
+        """Clamp a stipulated concept count to the number of available tags."""
+        if self._num_concepts is None:
+            return None
+        return min(self._num_concepts, folksonomy.num_tags)

@@ -1,0 +1,163 @@
+"""Ng-Jordan-Weiss spectral clustering (Section V of the paper).
+
+The concept-distillation step clusters tags from their pairwise purified
+distances:
+
+1. ``A_ij = exp(-D_ij² / σ²)`` (zero diagonal) — the Gaussian affinity,
+2. ``L = M^{-1/2} A M^{-1/2}`` with ``M`` the diagonal degree matrix,
+3. take the eigenvectors of the ``k`` largest eigenvalues of ``L`` as rows,
+   normalise each row to unit length,
+4. run k-means on the rows; each cluster is a *concept*.
+
+``k`` can be stipulated or chosen so the retained eigenvalues cover a target
+fraction (the paper mentions 95%) of the spectrum mass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.kmeans import KMeans
+from repro.utils.errors import ConfigurationError, DimensionError
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_square
+
+
+@dataclass
+class SpectralClusteringResult:
+    """Labels plus the intermediate spectral quantities (useful in tests)."""
+
+    labels: np.ndarray
+    affinity: np.ndarray
+    normalized_laplacian: np.ndarray
+    eigenvalues: np.ndarray
+    embedding: np.ndarray
+    num_clusters: int
+
+    def clusters(self) -> list:
+        """Cluster contents as a list of sorted index lists."""
+        groups = []
+        for cluster in range(self.num_clusters):
+            groups.append(sorted(np.flatnonzero(self.labels == cluster).tolist()))
+        return groups
+
+
+def affinity_from_distances(distances: np.ndarray, sigma: float = 1.0) -> np.ndarray:
+    """Step 1: Gaussian affinity ``exp(-D²/σ²)`` with a zero diagonal."""
+    distances = check_square(np.asarray(distances, dtype=float), "distances")
+    if sigma <= 0:
+        raise ConfigurationError(f"sigma must be positive, got {sigma}")
+    affinity = np.exp(-(distances**2) / (sigma**2))
+    np.fill_diagonal(affinity, 0.0)
+    return affinity
+
+
+def normalized_laplacian(affinity: np.ndarray) -> np.ndarray:
+    """Step 2: ``L = M^{-1/2} A M^{-1/2}`` (isolated rows keep a zero row)."""
+    affinity = check_square(np.asarray(affinity, dtype=float), "affinity")
+    degrees = affinity.sum(axis=1)
+    inv_sqrt = np.zeros_like(degrees)
+    positive = degrees > 0
+    inv_sqrt[positive] = 1.0 / np.sqrt(degrees[positive])
+    return (inv_sqrt[:, None] * affinity) * inv_sqrt[None, :]
+
+
+def choose_num_clusters(
+    eigenvalues: np.ndarray, variance_target: float = 0.95, max_clusters: Optional[int] = None
+) -> int:
+    """Pick ``k`` so the top-k eigenvalues cover ``variance_target`` of the mass.
+
+    ``eigenvalues`` must be sorted in decreasing order; negative eigenvalues
+    are clipped to zero before computing coverage.
+    """
+    if not 0.0 < variance_target <= 1.0:
+        raise ConfigurationError("variance_target must be in (0, 1]")
+    values = np.clip(np.asarray(eigenvalues, dtype=float), 0.0, None)
+    total = values.sum()
+    if total <= 0:
+        return 1
+    coverage = np.cumsum(values) / total
+    k = int(np.searchsorted(coverage, variance_target) + 1)
+    k = max(1, min(k, values.shape[0]))
+    if max_clusters is not None:
+        k = min(k, max_clusters)
+    return k
+
+
+class SpectralClustering:
+    """The full Ng-Jordan-Weiss pipeline over a pairwise distance matrix.
+
+    Parameters
+    ----------
+    num_clusters:
+        Number of concepts ``k``.  ``None`` lets the eigengap/variance rule
+        choose it (``variance_target``).
+    sigma:
+        Bandwidth of the Gaussian affinity kernel.
+    variance_target:
+        Spectrum coverage used when ``num_clusters`` is ``None``.
+    seed:
+        Seed for the k-means stage.
+    """
+
+    def __init__(
+        self,
+        num_clusters: Optional[int] = None,
+        sigma: float = 1.0,
+        variance_target: float = 0.95,
+        seed: SeedLike = 0,
+        kmeans_restarts: int = 4,
+    ) -> None:
+        if num_clusters is not None and num_clusters < 1:
+            raise ConfigurationError("num_clusters must be >= 1 when given")
+        self._num_clusters = num_clusters
+        self._sigma = sigma
+        self._variance_target = variance_target
+        self._seed = seed
+        self._kmeans_restarts = kmeans_restarts
+
+    def fit(self, distances: np.ndarray) -> SpectralClusteringResult:
+        """Cluster items given their pairwise distance matrix."""
+        distances = np.asarray(distances, dtype=float)
+        distances = check_square(distances, "distances")
+        num_items = distances.shape[0]
+        if num_items == 0:
+            raise DimensionError("cannot cluster an empty distance matrix")
+
+        affinity = affinity_from_distances(distances, sigma=self._sigma)
+        laplacian = normalized_laplacian(affinity)
+        # eigh returns ascending eigenvalues for symmetric matrices.
+        eigenvalues, eigenvectors = np.linalg.eigh(laplacian)
+        eigenvalues = eigenvalues[::-1]
+        eigenvectors = eigenvectors[:, ::-1]
+
+        if self._num_clusters is not None:
+            k = min(self._num_clusters, num_items)
+        else:
+            k = choose_num_clusters(
+                eigenvalues, variance_target=self._variance_target, max_clusters=num_items
+            )
+
+        embedding = eigenvectors[:, :k]
+        norms = np.linalg.norm(embedding, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        embedding = embedding / norms
+
+        kmeans = KMeans(
+            num_clusters=k,
+            seed=self._seed,
+            num_init=self._kmeans_restarts,
+        )
+        labels = kmeans.fit(embedding).labels
+
+        return SpectralClusteringResult(
+            labels=labels,
+            affinity=affinity,
+            normalized_laplacian=laplacian,
+            eigenvalues=eigenvalues,
+            embedding=embedding,
+            num_clusters=k,
+        )

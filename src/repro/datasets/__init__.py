@@ -1,0 +1,71 @@
+"""Synthetic social-tagging corpora and query workloads.
+
+The paper evaluates on crawls of Delicious, Bibsonomy and Last.fm that are
+not redistributable.  This subpackage provides the substitute: a generative
+model of a folksonomy whose latent structure contains exactly the phenomena
+CubeLSI is designed to exploit —
+
+* **concepts** expressed through several surface tags (synonyms, cross
+  language cognates, morphological variants, abbreviations → Table IV),
+* **polysemous tags** shared by unrelated concepts,
+* **tagger interest groups** that prefer different aspects and different
+  surface vocabulary for the same resources (the "multitude of aspects"
+  motivation and the reason the tagger dimension carries signal),
+* **sparsity and noise** from users seeing only a few resources and
+  occasionally mis-tagging.
+
+The latent structure is kept as ground truth so relevance judgments
+(Figure 4's user study) and semantic references (Table III's WordNet/JCN)
+can be derived without human annotators.
+"""
+
+from repro.datasets.vocabulary import (
+    ConceptSpec,
+    Vocabulary,
+    build_default_vocabulary,
+    TagKind,
+)
+from repro.datasets.generator import (
+    FolksonomyGenerator,
+    GeneratorConfig,
+    GroundTruth,
+    SyntheticDataset,
+)
+from repro.datasets.profiles import (
+    DatasetProfile,
+    DELICIOUS_PROFILE,
+    BIBSONOMY_PROFILE,
+    LASTFM_PROFILE,
+    PROFILES,
+    generate_profile_dataset,
+)
+from repro.datasets.queries import (
+    Query,
+    QueryWorkload,
+    RelevanceJudgments,
+    build_query_workload,
+)
+from repro.datasets.toy import running_example_folksonomy, running_example_records
+
+__all__ = [
+    "ConceptSpec",
+    "Vocabulary",
+    "build_default_vocabulary",
+    "TagKind",
+    "FolksonomyGenerator",
+    "GeneratorConfig",
+    "GroundTruth",
+    "SyntheticDataset",
+    "DatasetProfile",
+    "DELICIOUS_PROFILE",
+    "BIBSONOMY_PROFILE",
+    "LASTFM_PROFILE",
+    "PROFILES",
+    "generate_profile_dataset",
+    "Query",
+    "QueryWorkload",
+    "RelevanceJudgments",
+    "build_query_workload",
+    "running_example_folksonomy",
+    "running_example_records",
+]

@@ -1,0 +1,541 @@
+"""Generative model of a social tagging system.
+
+The generator simulates the data-producing process the paper describes in its
+introduction:
+
+1. every **resource** exhibits a small mixture of latent *concepts*
+   (its aspects: content, technique, genre, event, ...),
+2. every **tagger** belongs to an *interest group* that cares about a subset
+   of concepts and has its own preferred surface vocabulary (one group says
+   "films", another "movie", a French-speaking group "dictionnaire"),
+3. a tagger posts on resources relevant to their interests (plus some
+   off-topic browsing), expressing the concepts they noticed through their
+   group's vocabulary, with occasional **noise** (random tags, system tags,
+   one-off gibberish tags).
+
+Because the latent concept mixture of every resource, the group of every
+user and the concept(s) of every tag are retained in :class:`GroundTruth`,
+downstream code can derive relevance judgments and semantic references
+without human annotation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.vocabulary import ConceptSpec, Vocabulary, build_default_vocabulary
+from repro.tagging.entities import TagAssignment
+from repro.tagging.folksonomy import Folksonomy
+from repro.utils.errors import ConfigurationError
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import (
+    check_positive_int,
+    check_probability,
+)
+
+
+#: Topic-free organisational tags taggers habitually attach to their posts.
+PERSONAL_TAGS: Tuple[str, ...] = (
+    "toread",
+    "todo",
+    "favorites",
+    "useful",
+    "cool",
+    "inspiration",
+    "work",
+    "later",
+    "interesting",
+    "archive",
+)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Parameters of the synthetic folksonomy generator.
+
+    The defaults produce a small laptop-friendly corpus; the dataset
+    profiles in :mod:`repro.datasets.profiles` override them to mimic the
+    shape of the paper's three datasets.
+    """
+
+    num_users: int = 120
+    num_resources: int = 200
+    num_interest_groups: int = 6
+    concepts_per_group: int = 6
+    max_concepts_per_resource: int = 3
+    #: number of resource archetypes (recurring cross-aspect concept
+    #: combinations, e.g. "jazz + chillout + live"); systematic co-occurrence
+    #: of concepts from different aspects is what fools tag-only methods
+    num_archetypes: int = 12
+    mean_posts_per_user: float = 12.0
+    max_tags_per_post: int = 4
+    #: probability a tag pick uses the tagger's own preferred surface form
+    #: (their idiolect) instead of a uniformly random form of the concept
+    group_vocabulary_bias: float = 0.8
+    #: probability a tagger's preferred form for a concept follows their
+    #: interest group's preference rather than being an individual quirk
+    group_form_alignment: float = 0.3
+    #: probability a tagger adds a second surface form of the same concept to
+    #: the same post ("blog blogging weblog" style redundant tagging); this
+    #: within-post co-occurrence is the first-order signal the tensor sees
+    redundant_form_rate: float = 0.3
+    #: probability a post additionally receives one of the tagger's personal
+    #: organisational tags ("toread", "todo", "work", ...).  These tags are
+    #: topic-free: they pollute tag-resource co-occurrence (hurting methods
+    #: that ignore who assigned them) while remaining confined to individual
+    #: users in the tensor view
+    personal_tag_rate: float = 0.25
+    #: how many personal tags each tagger habitually uses
+    personal_tags_per_user: int = 2
+    #: probability a post lands on a resource outside the user's interests
+    offtopic_post_rate: float = 0.1
+    #: probability a chosen tag is replaced by a uniformly random tag
+    noise_rate: float = 0.05
+    #: probability a post additionally receives a system tag (raw data only)
+    system_tag_rate: float = 0.03
+    #: probability a post additionally receives a one-off gibberish tag
+    rare_tag_rate: float = 0.02
+    seed: Optional[int] = 7
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_users, "num_users")
+        check_positive_int(self.num_resources, "num_resources")
+        check_positive_int(self.num_interest_groups, "num_interest_groups")
+        check_positive_int(self.concepts_per_group, "concepts_per_group")
+        check_positive_int(self.max_concepts_per_resource, "max_concepts_per_resource")
+        check_positive_int(self.num_archetypes, "num_archetypes")
+        check_positive_int(self.max_tags_per_post, "max_tags_per_post")
+        if self.mean_posts_per_user <= 0:
+            raise ConfigurationError("mean_posts_per_user must be positive")
+        check_probability(self.group_vocabulary_bias, "group_vocabulary_bias")
+        check_probability(self.group_form_alignment, "group_form_alignment")
+        check_probability(self.redundant_form_rate, "redundant_form_rate")
+        check_probability(self.personal_tag_rate, "personal_tag_rate")
+        check_positive_int(self.personal_tags_per_user, "personal_tags_per_user")
+        check_probability(self.offtopic_post_rate, "offtopic_post_rate")
+        check_probability(self.noise_rate, "noise_rate")
+        check_probability(self.system_tag_rate, "system_tag_rate")
+        check_probability(self.rare_tag_rate, "rare_tag_rate")
+
+
+@dataclass
+class GroundTruth:
+    """Latent structure retained from generation.
+
+    Attributes
+    ----------
+    resource_concepts:
+        ``resource -> {concept name -> weight}``; weights sum to 1 per resource.
+    user_groups:
+        ``user -> interest group id``.
+    group_concepts:
+        ``group id -> concepts that group is interested in``.
+    group_preferred_tags:
+        ``(group id, concept name) -> the surface tag that group prefers``.
+    tag_concepts:
+        ``surface tag -> concepts it can express`` (>1 entry = polysemy).
+    vocabulary:
+        The :class:`Vocabulary` used for generation.
+    """
+
+    resource_concepts: Dict[str, Dict[str, float]]
+    user_groups: Dict[str, int]
+    group_concepts: Dict[int, Tuple[str, ...]]
+    group_preferred_tags: Dict[Tuple[int, str], str]
+    tag_concepts: Dict[str, FrozenSet[str]]
+    vocabulary: Vocabulary
+
+    def concept_weight(self, resource: str, concept: str) -> float:
+        """Ground-truth weight of ``concept`` in ``resource`` (0 if absent)."""
+        return self.resource_concepts.get(resource, {}).get(concept, 0.0)
+
+    def resources_about(self, concept: str, min_weight: float = 0.0) -> List[str]:
+        """Resources whose mixture includes ``concept`` above ``min_weight``."""
+        return [
+            resource
+            for resource, weights in self.resource_concepts.items()
+            if weights.get(concept, 0.0) > min_weight
+        ]
+
+    def concepts_of_tag(self, tag: str) -> FrozenSet[str]:
+        return self.tag_concepts.get(tag, frozenset())
+
+    def tags_of_concept(self, concept: str) -> Tuple[str, ...]:
+        """All surface tags that can express ``concept``."""
+        return tuple(
+            sorted(tag for tag, names in self.tag_concepts.items() if concept in names)
+        )
+
+
+@dataclass
+class SyntheticDataset:
+    """A generated corpus: the folksonomy plus its latent ground truth."""
+
+    name: str
+    folksonomy: Folksonomy
+    ground_truth: GroundTruth
+    config: GeneratorConfig
+
+    @property
+    def num_assignments(self) -> int:
+        return self.folksonomy.num_assignments
+
+
+class FolksonomyGenerator:
+    """Draws synthetic folksonomies from the generative model."""
+
+    def __init__(
+        self,
+        config: Optional[GeneratorConfig] = None,
+        vocabulary: Optional[Vocabulary] = None,
+    ) -> None:
+        self._config = config or GeneratorConfig()
+        self._vocabulary = (
+            vocabulary if vocabulary is not None else build_default_vocabulary()
+        )
+        if len(self._vocabulary) == 0:
+            raise ConfigurationError("vocabulary contains no concepts")
+
+    @property
+    def config(self) -> GeneratorConfig:
+        return self._config
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        return self._vocabulary
+
+    # ------------------------------------------------------------------ #
+    # Generation
+    # ------------------------------------------------------------------ #
+    def generate(self, name: str = "synthetic", include_noise_tags: bool = True) -> SyntheticDataset:
+        """Generate one corpus.
+
+        Parameters
+        ----------
+        name:
+            Dataset name carried by the resulting folksonomy.
+        include_noise_tags:
+            Whether system tags and one-off gibberish tags are injected
+            (``True`` produces "raw" data for the cleaning pipeline;
+            ``False`` produces already-clean data).
+        """
+        config = self._config
+        rng = make_rng(config.seed)
+        vocabulary = self._vocabulary
+        concept_names = list(vocabulary.concept_names())
+        tag_concepts = vocabulary.tag_to_concepts()
+
+        group_concepts = self._assign_group_concepts(rng, concept_names)
+        group_preferred = self._assign_group_vocabulary(rng, group_concepts, tag_concepts)
+        resource_concepts = self._assign_resource_concepts(rng, concept_names)
+        user_groups = {
+            f"user{{:0{len(str(config.num_users))}d}}".format(i): int(
+                rng.integers(config.num_interest_groups)
+            )
+            for i in range(config.num_users)
+        }
+
+        assignments = self._generate_assignments(
+            rng,
+            user_groups=user_groups,
+            group_concepts=group_concepts,
+            group_preferred=group_preferred,
+            resource_concepts=resource_concepts,
+            tag_concepts=tag_concepts,
+            include_noise_tags=include_noise_tags,
+        )
+
+        folksonomy = Folksonomy(assignments, name=name)
+        ground_truth = GroundTruth(
+            resource_concepts=resource_concepts,
+            user_groups=user_groups,
+            group_concepts=group_concepts,
+            group_preferred_tags=group_preferred,
+            tag_concepts=tag_concepts,
+            vocabulary=vocabulary,
+        )
+        return SyntheticDataset(
+            name=name,
+            folksonomy=folksonomy,
+            ground_truth=ground_truth,
+            config=config,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internal steps
+    # ------------------------------------------------------------------ #
+    def _assign_group_concepts(
+        self, rng: np.random.Generator, concept_names: Sequence[str]
+    ) -> Dict[int, Tuple[str, ...]]:
+        """Give every interest group an aspect-focused subset of concepts.
+
+        Groups are aspect-focused: a group follows concepts that share one
+        aspect (e.g. photo-taking *technique*, or music *mood*), mirroring
+        the paper's observation that different audiences care about
+        different aspects of the same resources.  Because resources combine
+        concepts from several aspects (see ``_build_archetypes``), the same
+        resource ends up tagged by several groups, each from its own angle —
+        which is precisely the structure that makes the tagger dimension
+        informative.
+        """
+        config = self._config
+        vocabulary = self._vocabulary
+        aspects = list(vocabulary.aspects())
+        by_aspect: Dict[str, List[str]] = {}
+        for concept in vocabulary.concepts:
+            by_aspect.setdefault(concept.aspect, []).append(concept.name)
+
+        groups: Dict[int, Tuple[str, ...]] = {}
+        for group_id in range(config.num_interest_groups):
+            aspect = aspects[group_id % len(aspects)] if aspects else None
+            pool = list(by_aspect.get(aspect, [])) if aspect else []
+            rng.shuffle(pool)
+            chosen: List[str] = pool[: config.concepts_per_group]
+            if len(chosen) < config.concepts_per_group:
+                remaining = [c for c in concept_names if c not in chosen]
+                rng.shuffle(remaining)
+                chosen.extend(
+                    remaining[: config.concepts_per_group - len(chosen)]
+                )
+            if not chosen:
+                chosen = [str(rng.choice(list(concept_names)))]
+            groups[group_id] = tuple(sorted(chosen))
+        return groups
+
+    def _assign_group_vocabulary(
+        self,
+        rng: np.random.Generator,
+        group_concepts: Mapping[int, Tuple[str, ...]],
+        tag_concepts: Mapping[str, FrozenSet[str]],
+    ) -> Dict[Tuple[int, str], str]:
+        """Pick each group's preferred surface tag per concept.
+
+        Different groups deliberately receive *different* preferred surface
+        forms where possible so that aggregating over users (as BOW/LSI do)
+        loses the information that those forms co-occur within groups.
+        """
+        preferred: Dict[Tuple[int, str], str] = {}
+        concept_tags: Dict[str, List[str]] = {}
+        for tag, names in tag_concepts.items():
+            for concept_name in names:
+                concept_tags.setdefault(concept_name, []).append(tag)
+        for tags in concept_tags.values():
+            tags.sort()
+
+        rotation: Dict[str, int] = {}
+        for group_id in sorted(group_concepts):
+            for concept_name in group_concepts[group_id]:
+                options = concept_tags.get(concept_name, [])
+                if not options:
+                    continue
+                offset = rotation.get(concept_name, 0)
+                preferred[(group_id, concept_name)] = options[offset % len(options)]
+                rotation[concept_name] = offset + 1
+        return preferred
+
+    def _build_archetypes(
+        self, rng: np.random.Generator
+    ) -> List[Tuple[str, ...]]:
+        """Recurring cross-aspect concept combinations resources are drawn from.
+
+        Each archetype pairs one concept per aspect for a few distinct
+        aspects (e.g. a "live jazz chill-out set" archetype = jazz_music +
+        chillout_mood + live_recordings).  Many resources share an
+        archetype, so its concepts — which are *not* semantically related —
+        co-occur systematically across resources.  Tag-only methods see that
+        co-occurrence and conflate the aspects; the tagger dimension keeps
+        them apart because each aspect is tagged by a different interest
+        group.
+        """
+        config = self._config
+        vocabulary = self._vocabulary
+        by_aspect: Dict[str, List[str]] = {}
+        for concept in vocabulary.concepts:
+            by_aspect.setdefault(concept.aspect, []).append(concept.name)
+        aspects = sorted(by_aspect)
+
+        archetypes: List[Tuple[str, ...]] = []
+        for _ in range(config.num_archetypes):
+            count = min(
+                len(aspects),
+                max(2, config.max_concepts_per_resource),
+            )
+            count = min(count, max(1, len(aspects)))
+            chosen_aspects = list(
+                rng.choice(aspects, size=min(count, len(aspects)), replace=False)
+            )
+            members = []
+            for aspect in chosen_aspects:
+                pool = by_aspect[aspect]
+                members.append(str(pool[int(rng.integers(len(pool)))]))
+            archetypes.append(tuple(sorted(set(members))))
+        return archetypes
+
+    def _assign_resource_concepts(
+        self, rng: np.random.Generator, concept_names: Sequence[str]
+    ) -> Dict[str, Dict[str, float]]:
+        """Draw each resource's concept mixture from an archetype.
+
+        A resource picks an archetype, keeps up to ``max_concepts_per_resource``
+        of its concepts and receives Dirichlet weights over them.
+        """
+        config = self._config
+        width = len(str(config.num_resources))
+        archetypes = self._build_archetypes(rng)
+        resource_concepts: Dict[str, Dict[str, float]] = {}
+        names = list(concept_names)
+        for index in range(config.num_resources):
+            resource = f"res{index:0{width}d}"
+            archetype = archetypes[int(rng.integers(len(archetypes)))]
+            chosen = list(archetype)
+            rng.shuffle(chosen)
+            chosen = chosen[: config.max_concepts_per_resource]
+            if not chosen:
+                chosen = [str(names[int(rng.integers(len(names)))])]
+            weights = rng.dirichlet(np.full(len(chosen), 1.5))
+            # Sort so the dominant concept is deterministic given the draw.
+            pairs = sorted(zip(chosen, weights), key=lambda kv: -kv[1])
+            resource_concepts[resource] = {c: float(w) for c, w in pairs}
+        return resource_concepts
+
+    def _generate_assignments(
+        self,
+        rng: np.random.Generator,
+        user_groups: Mapping[str, int],
+        group_concepts: Mapping[int, Tuple[str, ...]],
+        group_preferred: Mapping[Tuple[int, str], str],
+        resource_concepts: Mapping[str, Dict[str, float]],
+        tag_concepts: Mapping[str, FrozenSet[str]],
+        include_noise_tags: bool,
+    ) -> List[TagAssignment]:
+        config = self._config
+        all_tags = sorted(tag_concepts)
+        resources = sorted(resource_concepts)
+        concept_surface: Dict[str, List[str]] = {}
+        for tag, names in tag_concepts.items():
+            for concept_name in names:
+                concept_surface.setdefault(concept_name, []).append(tag)
+        for tags in concept_surface.values():
+            tags.sort()
+
+        # Pre-compute, per group, which resources are "relevant" (share a concept).
+        relevant_resources: Dict[int, List[str]] = {}
+        for group_id, concepts in group_concepts.items():
+            concept_set = set(concepts)
+            relevant = [
+                r
+                for r in resources
+                if concept_set.intersection(resource_concepts[r])
+            ]
+            relevant_resources[group_id] = relevant or list(resources)
+
+        assignments: List[TagAssignment] = []
+        rare_counter = 0
+        user_preferred: Dict[Tuple[str, str], str] = {}
+        for user in sorted(user_groups):
+            group_id = user_groups[user]
+            group_concept_set = set(group_concepts[group_id])
+            personal_pool = [
+                str(t)
+                for t in rng.choice(
+                    PERSONAL_TAGS,
+                    size=min(config.personal_tags_per_user, len(PERSONAL_TAGS)),
+                    replace=False,
+                )
+            ]
+            num_posts = max(1, int(rng.poisson(config.mean_posts_per_user)))
+            for _ in range(num_posts):
+                offtopic = rng.random() < config.offtopic_post_rate
+                pool = resources if offtopic else relevant_resources[group_id]
+                resource = str(pool[int(rng.integers(len(pool)))])
+                mixture = resource_concepts[resource]
+                candidate_concepts = [
+                    c for c in mixture if c in group_concept_set
+                ] or list(mixture)
+                weights = np.array([mixture[c] for c in candidate_concepts])
+                weights = weights / weights.sum()
+
+                num_tags = int(rng.integers(1, config.max_tags_per_post + 1))
+                for _ in range(num_tags):
+                    concept_name = str(
+                        candidate_concepts[int(rng.choice(len(candidate_concepts), p=weights))]
+                    )
+                    tag = self._pick_surface_tag(
+                        rng,
+                        user,
+                        group_id,
+                        concept_name,
+                        user_preferred,
+                        group_preferred,
+                        concept_surface,
+                    )
+                    if rng.random() < config.noise_rate:
+                        tag = str(all_tags[int(rng.integers(len(all_tags)))])
+                    assignments.append(TagAssignment(user, tag, resource))
+
+                    # Redundant tagging: the same post receives a second
+                    # surface form of the same concept.
+                    if rng.random() < config.redundant_form_rate:
+                        forms = concept_surface.get(concept_name, [])
+                        alternatives = [f for f in forms if f != tag]
+                        if alternatives:
+                            extra = str(
+                                alternatives[int(rng.integers(len(alternatives)))]
+                            )
+                            assignments.append(TagAssignment(user, extra, resource))
+
+                if personal_pool and rng.random() < config.personal_tag_rate:
+                    personal = personal_pool[int(rng.integers(len(personal_pool)))]
+                    assignments.append(TagAssignment(user, personal, resource))
+
+                if include_noise_tags and rng.random() < config.system_tag_rate:
+                    assignments.append(
+                        TagAssignment(user, "system:imported", resource)
+                    )
+                if include_noise_tags and rng.random() < config.rare_tag_rate:
+                    rare_counter += 1
+                    assignments.append(
+                        TagAssignment(user, f"zzx{rare_counter:05d}", resource)
+                    )
+        return assignments
+
+    def _pick_surface_tag(
+        self,
+        rng: np.random.Generator,
+        user: str,
+        group_id: int,
+        concept_name: str,
+        user_preferred: Dict[Tuple[str, str], str],
+        group_preferred: Mapping[Tuple[int, str], str],
+        concept_surface: Mapping[str, List[str]],
+    ) -> str:
+        """Choose the surface form ``user`` employs for ``concept_name``.
+
+        Every tagger has a personal preferred form (their idiolect) for each
+        concept; with probability ``group_form_alignment`` that idiolect
+        follows the interest group's preference (a shared community
+        vocabulary), otherwise it is an individual quirk.  The idiolect is
+        used with probability ``group_vocabulary_bias`` on every tagging
+        event; the rest of the time any form of the concept may appear.
+        Because members of one group spread over several forms while still
+        tagging the same kinds of resources, synonyms share *context* (users
+        of the same community, resources of the same archetypes) without
+        necessarily co-occurring on the same resource — the structure the
+        tagger dimension exploits and user-aggregated methods miss.
+        """
+        options = concept_surface.get(concept_name, [])
+        if not options:
+            return concept_name
+        key = (user, concept_name)
+        if key not in user_preferred:
+            group_form = group_preferred.get((group_id, concept_name))
+            if group_form is not None and rng.random() < self._config.group_form_alignment:
+                user_preferred[key] = group_form
+            else:
+                user_preferred[key] = str(options[int(rng.integers(len(options)))])
+        if rng.random() < self._config.group_vocabulary_bias:
+            return user_preferred[key]
+        return str(options[int(rng.integers(len(options)))])

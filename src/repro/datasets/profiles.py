@@ -1,0 +1,180 @@
+"""Dataset profiles mimicking the paper's three corpora.
+
+Table II of the paper reports the cleaned sizes of the Delicious, Bibsonomy
+and Last.fm crawls.  Re-creating corpora of those absolute sizes is neither
+possible (the crawls are proprietary) nor necessary for reproducing the
+paper's findings; what matters is that the three corpora differ in *shape*
+the same way:
+
+* **Delicious** — many users, moderate tag vocabulary, fewer resources than
+  tags, dense tagging (many assignments per resource).
+* **Bibsonomy** — few users, many resources relative to users, sparse.
+* **Last.fm** — users/tags/resources of comparable size, music vocabulary.
+
+Each profile scales the generator configuration accordingly and exposes a
+``scale`` multiplier so the corpora can be grown toward the paper's sizes
+when more compute is available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.datasets.generator import (
+    FolksonomyGenerator,
+    GeneratorConfig,
+    SyntheticDataset,
+)
+from repro.datasets.vocabulary import (
+    Vocabulary,
+    build_default_vocabulary,
+    expand_vocabulary,
+)
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """A named recipe for generating one of the three paper-like corpora."""
+
+    name: str
+    domains: Tuple[str, ...]
+    base_users: int
+    base_resources: int
+    interest_groups: int
+    concepts_per_group: int
+    mean_posts_per_user: float
+    max_tags_per_post: int
+    num_archetypes: int = 10
+    extra_synthetic_concepts: int = 0
+    group_vocabulary_bias: float = 0.8
+    group_form_alignment: float = 0.3
+    redundant_form_rate: float = 0.3
+    personal_tag_rate: float = 0.3
+    offtopic_post_rate: float = 0.1
+    noise_rate: float = 0.05
+    #: reference cleaned sizes from Table II, used in reports for context
+    paper_cleaned_sizes: Optional[Dict[str, int]] = None
+
+    def config(self, scale: float = 1.0, seed: Optional[int] = 7) -> GeneratorConfig:
+        """Build the generator configuration for this profile at ``scale``."""
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {scale}")
+        return GeneratorConfig(
+            num_users=max(10, int(round(self.base_users * scale))),
+            num_resources=max(10, int(round(self.base_resources * scale))),
+            num_interest_groups=self.interest_groups,
+            concepts_per_group=self.concepts_per_group,
+            num_archetypes=self.num_archetypes,
+            mean_posts_per_user=self.mean_posts_per_user,
+            max_tags_per_post=self.max_tags_per_post,
+            group_vocabulary_bias=self.group_vocabulary_bias,
+            group_form_alignment=self.group_form_alignment,
+            redundant_form_rate=self.redundant_form_rate,
+            personal_tag_rate=self.personal_tag_rate,
+            offtopic_post_rate=self.offtopic_post_rate,
+            noise_rate=self.noise_rate,
+            seed=seed,
+        )
+
+    def vocabulary(self, seed: Optional[int] = 7) -> Vocabulary:
+        """Vocabulary for this profile (domain-restricted, optionally expanded)."""
+        vocabulary = build_default_vocabulary(domains=self.domains)
+        if self.extra_synthetic_concepts > 0:
+            vocabulary = expand_vocabulary(
+                vocabulary, self.extra_synthetic_concepts, seed=seed
+            )
+        return vocabulary
+
+
+DELICIOUS_PROFILE = DatasetProfile(
+    name="delicious",
+    domains=("web",),
+    base_users=240,
+    base_resources=700,
+    interest_groups=8,
+    concepts_per_group=8,
+    mean_posts_per_user=22.0,
+    max_tags_per_post=3,
+    num_archetypes=12,
+    paper_cleaned_sizes={"|U|": 28939, "|T|": 7342, "|R|": 4118, "|Y|": 1357238},
+)
+
+BIBSONOMY_PROFILE = DatasetProfile(
+    name="bibsonomy",
+    domains=("academic",),
+    base_users=150,
+    base_resources=600,
+    interest_groups=6,
+    concepts_per_group=8,
+    mean_posts_per_user=25.0,
+    max_tags_per_post=3,
+    num_archetypes=10,
+    paper_cleaned_sizes={"|U|": 732, "|T|": 4702, "|R|": 35708, "|Y|": 258347},
+)
+
+LASTFM_PROFILE = DatasetProfile(
+    name="lastfm",
+    domains=("music",),
+    base_users=170,
+    base_resources=500,
+    interest_groups=6,
+    concepts_per_group=6,
+    mean_posts_per_user=18.0,
+    max_tags_per_post=3,
+    num_archetypes=8,
+    paper_cleaned_sizes={"|U|": 3897, "|T|": 3326, "|R|": 2849, "|Y|": 335782},
+)
+
+PROFILES: Dict[str, DatasetProfile] = {
+    profile.name: profile
+    for profile in (DELICIOUS_PROFILE, BIBSONOMY_PROFILE, LASTFM_PROFILE)
+}
+
+
+def generate_profile_dataset(
+    profile: DatasetProfile,
+    scale: float = 1.0,
+    seed: Optional[int] = 7,
+    include_noise_tags: bool = True,
+) -> SyntheticDataset:
+    """Generate a corpus for ``profile`` at the given ``scale``.
+
+    ``include_noise_tags=True`` yields "raw" data (with system and one-off
+    tags) suitable for exercising the cleaning pipeline; ``False`` yields a
+    corpus that is already clean.
+    """
+    config = profile.config(scale=scale, seed=seed)
+    vocabulary = profile.vocabulary(seed=seed)
+    generator = FolksonomyGenerator(config=config, vocabulary=vocabulary)
+    return generator.generate(name=profile.name, include_noise_tags=include_noise_tags)
+
+
+def generate_all_profiles(
+    scale: float = 1.0,
+    seed: Optional[int] = 7,
+    include_noise_tags: bool = True,
+    names: Optional[Sequence[str]] = None,
+) -> Dict[str, SyntheticDataset]:
+    """Generate every (or the named subset of) profile dataset."""
+    selected = names or tuple(PROFILES)
+    datasets = {}
+    for index, name in enumerate(selected):
+        if name not in PROFILES:
+            raise ConfigurationError(
+                f"unknown profile {name!r}; available: {sorted(PROFILES)}"
+            )
+        dataset_seed = None if seed is None else seed + index
+        datasets[name] = generate_profile_dataset(
+            PROFILES[name],
+            scale=scale,
+            seed=dataset_seed,
+            include_noise_tags=include_noise_tags,
+        )
+    return datasets
+
+
+def scaled_profile(profile: DatasetProfile, **overrides) -> DatasetProfile:
+    """A copy of ``profile`` with selected fields replaced (for ablations)."""
+    return replace(profile, **overrides)

@@ -1,0 +1,213 @@
+"""Query workloads with graded relevance judgments.
+
+The paper's ranking-quality experiment (Figure 4) uses 128 queries proposed
+by 16 users, each of whom then labelled the returned resources as Relevant
+(2), Partially Relevant (1) or Irrelevant (0).  Without access to those
+participants, the workload is simulated from the generator's ground truth:
+
+* a query is built from 1-3 surface tags of a target concept (the
+  "information need"), sometimes mixing a second concept the way real
+  multi-keyword queries do;
+* a resource's relevance grade is derived from the ground-truth weight of
+  the query's concepts in the resource's latent mixture — exactly the
+  quantity human judges were asked to estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.generator import GroundTruth, SyntheticDataset
+from repro.utils.errors import ConfigurationError
+from repro.utils.rng import SeedLike, make_rng
+
+#: Relevance grades used by the paper (and by NDCG's gain function).
+RELEVANT = 2
+PARTIALLY_RELEVANT = 1
+IRRELEVANT = 0
+
+
+@dataclass(frozen=True)
+class Query:
+    """A keyword query with the latent concepts that motivated it."""
+
+    query_id: str
+    tags: Tuple[str, ...]
+    concepts: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.tags:
+            raise ConfigurationError("a query must contain at least one tag")
+
+
+@dataclass
+class RelevanceJudgments:
+    """Graded relevance of resources for one query (missing = irrelevant)."""
+
+    query_id: str
+    grades: Dict[str, int] = field(default_factory=dict)
+
+    def grade(self, resource: str) -> int:
+        return self.grades.get(resource, IRRELEVANT)
+
+    def relevant_resources(self, min_grade: int = PARTIALLY_RELEVANT) -> List[str]:
+        return sorted(r for r, g in self.grades.items() if g >= min_grade)
+
+    def ideal_gains(self) -> List[int]:
+        """All positive grades sorted descending (the ideal ranking's gains)."""
+        return sorted((g for g in self.grades.values() if g > 0), reverse=True)
+
+
+@dataclass
+class QueryWorkload:
+    """A set of queries with judgments, as used by the Figure 4 experiment."""
+
+    queries: List[Query]
+    judgments: Dict[str, RelevanceJudgments]
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def judgments_for(self, query: Query) -> RelevanceJudgments:
+        return self.judgments[query.query_id]
+
+    def queries_with_judged_resources(self) -> List[Query]:
+        """Queries that have at least one relevant resource (NDCG is defined)."""
+        return [
+            q
+            for q in self.queries
+            if self.judgments[q.query_id].ideal_gains()
+        ]
+
+
+def build_query_workload(
+    dataset: SyntheticDataset,
+    num_queries: int = 128,
+    seed: SeedLike = 11,
+    max_tags_per_query: int = 3,
+    strong_threshold: float = 0.45,
+    weak_threshold: float = 0.15,
+    require_known_tags: bool = True,
+    folksonomy=None,
+) -> QueryWorkload:
+    """Simulate the 128-query user study for ``dataset``.
+
+    Parameters
+    ----------
+    dataset:
+        A generated corpus (the ground truth supplies judgments).
+    num_queries:
+        Number of queries to draw (the paper uses 128).
+    max_tags_per_query:
+        Queries contain 1..max_tags_per_query tags.
+    strong_threshold / weak_threshold:
+        Ground-truth concept weight above which a resource is graded
+        Relevant (2) or Partially Relevant (1).
+    require_known_tags:
+        If ``True`` query tags are restricted to tags that actually occur in
+        the searched corpus, mirroring users who pick familiar tags.
+    folksonomy:
+        The (typically cleaned) :class:`~repro.tagging.folksonomy.Folksonomy`
+        that will actually be searched.  Query tags are drawn from its
+        vocabulary and relevance judgments are restricted to its resources,
+        exactly like human judges who only rate returned, existing
+        resources.  Defaults to the dataset's raw folksonomy.
+    """
+    if num_queries < 1:
+        raise ConfigurationError("num_queries must be >= 1")
+    if not 0.0 <= weak_threshold <= strong_threshold <= 1.0:
+        raise ConfigurationError(
+            "thresholds must satisfy 0 <= weak <= strong <= 1"
+        )
+    rng = make_rng(seed)
+    truth = dataset.ground_truth
+    corpus = folksonomy if folksonomy is not None else dataset.folksonomy
+    known_tags = set(corpus.tags)
+    allowed_resources = set(corpus.resources)
+
+    concept_names = [
+        name
+        for name in truth.vocabulary.concept_names()
+        if _usable_tags(truth, name, known_tags, require_known_tags)
+    ]
+    if not concept_names:
+        raise ConfigurationError(
+            "no concept has usable query tags; was the corpus cleaned away?"
+        )
+
+    queries: List[Query] = []
+    judgments: Dict[str, RelevanceJudgments] = {}
+    for index in range(num_queries):
+        primary = str(concept_names[int(rng.integers(len(concept_names)))])
+        concepts = [primary]
+        # A third of the queries mention a secondary concept, like real
+        # multi-keyword queries ("jazz live", "python tutorial").
+        if len(concept_names) > 1 and rng.random() < 0.33:
+            secondary = primary
+            while secondary == primary:
+                secondary = str(concept_names[int(rng.integers(len(concept_names)))])
+            concepts.append(secondary)
+
+        tags: List[str] = []
+        budget = int(rng.integers(1, max_tags_per_query + 1))
+        for concept_index, concept in enumerate(concepts):
+            usable = _usable_tags(truth, concept, known_tags, require_known_tags)
+            take = max(1, budget - len(tags)) if concept_index == len(concepts) - 1 else 1
+            take = min(take, len(usable))
+            chosen = rng.choice(usable, size=take, replace=False)
+            tags.extend(str(t) for t in chosen)
+            if len(tags) >= budget:
+                break
+        query = Query(
+            query_id=f"q{index:04d}",
+            tags=tuple(dict.fromkeys(tags)),
+            concepts=tuple(concepts),
+        )
+        queries.append(query)
+        judgments[query.query_id] = _judge(
+            query,
+            truth,
+            strong_threshold=strong_threshold,
+            weak_threshold=weak_threshold,
+            allowed_resources=allowed_resources,
+        )
+
+    return QueryWorkload(queries=queries, judgments=judgments)
+
+
+def _usable_tags(
+    truth: GroundTruth,
+    concept: str,
+    known_tags: set,
+    require_known_tags: bool,
+) -> List[str]:
+    tags = list(truth.tags_of_concept(concept))
+    if require_known_tags:
+        tags = [t for t in tags if t in known_tags]
+    return tags
+
+
+def _judge(
+    query: Query,
+    truth: GroundTruth,
+    strong_threshold: float,
+    weak_threshold: float,
+    allowed_resources=None,
+) -> RelevanceJudgments:
+    """Grade every resource for ``query`` from ground-truth concept weights."""
+    grades: Dict[str, int] = {}
+    for resource, mixture in truth.resource_concepts.items():
+        if allowed_resources is not None and resource not in allowed_resources:
+            continue
+        weight = sum(mixture.get(concept, 0.0) for concept in query.concepts)
+        if weight >= strong_threshold:
+            grades[resource] = RELEVANT
+        elif weight >= weak_threshold:
+            grades[resource] = PARTIALLY_RELEVANT
+    return RelevanceJudgments(query_id=query.query_id, grades=grades)

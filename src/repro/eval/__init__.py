@@ -1,0 +1,41 @@
+"""Evaluation metrics, experiment harness and report rendering.
+
+* :mod:`repro.eval.ndcg` — graded-relevance ranking metrics (NDCG@N, Eq. 24)
+  plus precision/recall helpers.
+* :mod:`repro.eval.harness` — runs a set of rankers over a dataset + query
+  workload, recording ranking quality and offline/online wall-clock times.
+* :mod:`repro.eval.reporting` — plain-text table and series rendering used
+  by the experiment drivers and benchmarks to print paper-style output.
+"""
+
+from repro.eval.ndcg import (
+    dcg_at,
+    ideal_dcg,
+    ndcg_at,
+    ndcg_curve,
+    mean_ndcg_at,
+    precision_at,
+    average_precision,
+)
+from repro.eval.harness import (
+    RankingEvaluation,
+    MethodEvaluation,
+    RankingExperiment,
+)
+from repro.eval.reporting import format_table, format_series, format_float
+
+__all__ = [
+    "dcg_at",
+    "ideal_dcg",
+    "ndcg_at",
+    "ndcg_curve",
+    "mean_ndcg_at",
+    "precision_at",
+    "average_precision",
+    "RankingEvaluation",
+    "MethodEvaluation",
+    "RankingExperiment",
+    "format_table",
+    "format_series",
+    "format_float",
+]

@@ -1,0 +1,114 @@
+"""Figure 4: NDCG@N of the six ranking methods on the three datasets.
+
+For every dataset profile the simulated query workload is run through all
+six rankers and the mean NDCG@N curve is recorded for
+N ∈ {1..10, 15, 20}.  The paper's qualitative findings to look for:
+
+* the tagger-aware methods (CubeLSI, CubeSim, FolkRank) outperform the
+  tag-only methods (Freq, LSI, BOW), and
+* CubeLSI has the best curve on every dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.registry import build_all_rankers, default_ranker_names
+from repro.datasets.profiles import PROFILES
+from repro.eval.harness import DEFAULT_NDCG_CUTOFFS, RankingEvaluation, RankingExperiment
+from repro.experiments.common import (
+    DEFAULT_NUM_QUERIES,
+    DEFAULT_SCALE,
+    ExperimentReport,
+    prepare_corpus,
+)
+
+
+def run_single_dataset(
+    profile_name: str,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 7,
+    num_queries: int = DEFAULT_NUM_QUERIES,
+    cutoffs: Sequence[int] = DEFAULT_NDCG_CUTOFFS,
+    ranker_names: Optional[Sequence[str]] = None,
+    reduction_ratios=(25.0, 3.0, 40.0),
+    num_concepts: Optional[int] = 45,
+) -> RankingEvaluation:
+    """Run the Figure 4 experiment for one dataset and return raw results."""
+    corpus = prepare_corpus(
+        profile_name=profile_name, scale=scale, seed=seed, num_queries=num_queries
+    )
+    rankers = build_all_rankers(
+        names=ranker_names,
+        reduction_ratios=reduction_ratios,
+        num_concepts=num_concepts,
+        seed=seed,
+    )
+    experiment = RankingExperiment(corpus.cleaned, corpus.workload, cutoffs=cutoffs)
+    return experiment.run(rankers)
+
+
+def run(
+    scale: float = DEFAULT_SCALE,
+    seed: int = 7,
+    num_queries: int = DEFAULT_NUM_QUERIES,
+    cutoffs: Sequence[int] = DEFAULT_NDCG_CUTOFFS,
+    profiles: Optional[Sequence[str]] = None,
+    ranker_names: Optional[Sequence[str]] = None,
+    reduction_ratios=(25.0, 3.0, 40.0),
+    num_concepts: Optional[int] = 45,
+) -> Dict[str, ExperimentReport]:
+    """Regenerate Figure 4: one report (NDCG series per method) per dataset."""
+    names = list(profiles) if profiles is not None else list(PROFILES)
+    reports: Dict[str, ExperimentReport] = {}
+    for index, profile_name in enumerate(names):
+        evaluation = run_single_dataset(
+            profile_name,
+            scale=scale,
+            seed=seed + index,
+            num_queries=num_queries,
+            cutoffs=cutoffs,
+            ranker_names=ranker_names,
+            reduction_ratios=reduction_ratios,
+            num_concepts=num_concepts,
+        )
+        report = ExperimentReport(
+            experiment_id=f"fig4-{profile_name}",
+            title=f"NDCG@N of ranking methods on {profile_name}, cf. paper Fig. 4",
+            series={
+                method: evaluation.methods[method].ndcg_series(cutoffs)
+                for method in evaluation.method_names()
+            },
+            series_x=[float(c) for c in cutoffs],
+            series_x_label="NDCG@N",
+        )
+        tagger_aware = [m for m in ("cubelsi", "cubesim", "folkrank") if m in evaluation.methods]
+        tag_only = [m for m in ("freq", "lsi", "bow") if m in evaluation.methods]
+        if tagger_aware and tag_only:
+            mid_cutoff = cutoffs[len(cutoffs) // 2]
+            aware_mean = sum(
+                evaluation.methods[m].ndcg_by_cutoff[mid_cutoff] for m in tagger_aware
+            ) / len(tagger_aware)
+            only_mean = sum(
+                evaluation.methods[m].ndcg_by_cutoff[mid_cutoff] for m in tag_only
+            ) / len(tag_only)
+            report.notes.append(
+                f"mean NDCG@{mid_cutoff}: tagger-aware {aware_mean:.3f} vs "
+                f"tag-only {only_mean:.3f}; best method at @{mid_cutoff}: "
+                f"{evaluation.best_method_at(mid_cutoff)}"
+            )
+        reports[profile_name] = report
+    return reports
+
+
+def ndcg_summary(
+    reports: Dict[str, ExperimentReport], cutoff_index: int = 4
+) -> List[Dict[str, object]]:
+    """A compact cross-dataset summary table (one row per method)."""
+    rows: Dict[str, Dict[str, object]] = {}
+    for dataset, report in reports.items():
+        for method, series in report.series.items():
+            rows.setdefault(method, {"Method": method})[dataset] = round(
+                series[cutoff_index], 4
+            )
+    return list(rows.values())

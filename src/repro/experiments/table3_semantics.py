@@ -1,0 +1,83 @@
+"""Table III: accuracy of pairwise tag distances (JCN_avg and Rank_avg).
+
+CubeLSI, CubeSim and LSI each produce a full pairwise tag-distance matrix;
+for every judgeable tag each method nominates its most similar tag, and the
+nominations are scored against the semantic reference (the synthetic
+taxonomy standing in for WordNet) with the Jiang-Conrath distance.  The
+paper's finding — CubeLSI < CubeSim < LSI on both averages — is the shape
+this experiment reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.baselines.cubelsi_ranker import CubeLSIRanker
+from repro.baselines.cubesim import CubeSimRanker
+from repro.baselines.lsi import LsiRanker
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentReport,
+    prepare_corpus,
+)
+from repro.semantics.evaluation import evaluate_tag_distances
+
+
+def run(
+    scale: float = DEFAULT_SCALE,
+    seed: int = 7,
+    profile_name: str = "bibsonomy",
+    reduction_ratios=(25.0, 3.0, 40.0),
+    num_concepts: int = 25,
+) -> ExperimentReport:
+    """Regenerate Table III (average JCN distance and average rank)."""
+    corpus = prepare_corpus(profile_name=profile_name, scale=scale, seed=seed)
+    folksonomy = corpus.cleaned
+    lexicon = corpus.lexicon
+
+    methods: Dict[str, np.ndarray] = {}
+
+    cubelsi = CubeLSIRanker(
+        reduction_ratios=reduction_ratios,
+        num_concepts=num_concepts,
+        seed=seed,
+        min_rank=4,
+    ).fit(folksonomy)
+    methods["CubeLSI"] = cubelsi.tag_distances
+
+    cubesim = CubeSimRanker(num_concepts=num_concepts, seed=seed).fit(folksonomy)
+    methods["CubeSim"] = cubesim.tag_distances
+
+    lsi = LsiRanker(
+        reduction_ratio=reduction_ratios[1],
+        num_concepts=num_concepts,
+        seed=seed,
+        min_rank=4,
+    ).fit(folksonomy)
+    methods["LSI"] = lsi.tag_distances
+
+    report = ExperimentReport(
+        experiment_id="table3",
+        title="JCN_avg and Rank_avg of tag distances, cf. paper Table III",
+    )
+    accuracies = {}
+    for name, distances in methods.items():
+        accuracy = evaluate_tag_distances(
+            distances, folksonomy.tags, lexicon, method=name
+        )
+        accuracies[name] = accuracy
+        report.rows.append(accuracy.as_row())
+
+    report.notes.append(
+        f"judgeable tags (covered by the reference): "
+        f"{accuracies['CubeLSI'].judgeable_tags} of {folksonomy.num_tags} "
+        f"({lexicon.coverage_of(folksonomy.tags):.0%} coverage; the paper "
+        "reports 50.3% WordNet coverage on Bibsonomy)"
+    )
+    report.notes.append(
+        "paper reference (Bibsonomy): JCN 10.32 / 11.25 / 11.62 and rank "
+        "12.55 / 15.69 / 16.06 for CubeLSI / CubeSim / LSI — lower is better"
+    )
+    return report

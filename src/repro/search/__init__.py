@@ -1,0 +1,25 @@
+"""Concept-space information retrieval engine (Section III).
+
+Resources and queries are represented as sparse tf-idf vectors over the set
+of distilled concepts and ranked by cosine similarity.  The engine is
+deliberately a classical VSM stack — the paper's point is that once concept
+distillation has been done offline, online query processing is just cheap
+dot products (Table VI).
+
+* :mod:`repro.search.vsm` — tf-idf weighting (Eq. 1-3) and cosine (Eq. 4).
+* :mod:`repro.search.inverted_index` — the postings-list index behind the
+  dot products.
+* :mod:`repro.search.engine` — the user-facing query interface combining a
+  concept model, the index and the ranking.
+"""
+
+from repro.search.vsm import ConceptVectorSpace, RankedResult
+from repro.search.inverted_index import InvertedIndex
+from repro.search.engine import SearchEngine
+
+__all__ = [
+    "ConceptVectorSpace",
+    "RankedResult",
+    "InvertedIndex",
+    "SearchEngine",
+]

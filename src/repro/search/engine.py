@@ -1,0 +1,109 @@
+"""The user-facing search engine: tag queries in, ranked resources out.
+
+:class:`SearchEngine` glues together a :class:`~repro.core.concepts.ConceptModel`
+(how tags map to concepts) and a fitted
+:class:`~repro.search.vsm.ConceptVectorSpace` (how resources are weighted in
+concept space).  It implements the *online* component of the paper's
+Figure 1: transform the query's tags into concepts, compute cosine
+similarities, return a ranked list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.core.concepts import ConceptModel
+from repro.search.vsm import ConceptVectorSpace, RankedResult
+from repro.tagging.folksonomy import Folksonomy
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass
+class SearchEngine:
+    """Online query processing over a concept-space index.
+
+    Attributes
+    ----------
+    concept_model:
+        Maps tags (of resources and of queries) to concept ids.
+    vector_space:
+        The fitted tf-idf concept vector space over all resources.
+    name:
+        Identifier used in experiment reports (e.g. ``"cubelsi"``).
+    """
+
+    concept_model: ConceptModel
+    vector_space: ConceptVectorSpace
+    name: str = "cubelsi"
+
+    @classmethod
+    def build(
+        cls,
+        folksonomy: Folksonomy,
+        concept_model: ConceptModel,
+        smooth_idf: bool = False,
+        name: str = "cubelsi",
+    ) -> "SearchEngine":
+        """Build the engine by indexing every resource of ``folksonomy``.
+
+        Each resource's bag of tags is translated to a bag of concepts with
+        ``concept_model`` and indexed with tf-idf weights.
+        """
+        resource_bags: Dict[str, Dict[int, float]] = {}
+        for resource in folksonomy.resources:
+            tag_bag = folksonomy.tag_bag(resource)
+            resource_bags[resource] = concept_model.concept_bag(tag_bag)
+        vector_space = ConceptVectorSpace(smooth_idf=smooth_idf).fit(resource_bags)
+        return cls(concept_model=concept_model, vector_space=vector_space, name=name)
+
+    # ------------------------------------------------------------------ #
+    # Querying
+    # ------------------------------------------------------------------ #
+    def query_concepts(self, query_tags: Sequence[str]) -> Dict[int, float]:
+        """The query's bag of concepts (step "Given Query" of Figure 1)."""
+        if not query_tags:
+            raise ConfigurationError("a query must contain at least one tag")
+        return self.concept_model.concept_bag_from_tags(query_tags)
+
+    def search(
+        self, query_tags: Sequence[str], top_k: Optional[int] = None
+    ) -> List[RankedResult]:
+        """Rank all resources against a tag query.
+
+        Resources whose concept vectors share no concept with the query are
+        omitted (their cosine similarity is zero).
+        """
+        concept_bag = self.query_concepts(query_tags)
+        if not concept_bag:
+            return []
+        return self.vector_space.rank(concept_bag, top_k=top_k)
+
+    def ranked_resources(
+        self, query_tags: Sequence[str], top_k: Optional[int] = None
+    ) -> List[str]:
+        """Just the resource ids of :meth:`search`, in rank order."""
+        return [result.resource for result in self.search(query_tags, top_k=top_k)]
+
+    def score(self, query_tags: Sequence[str], resource: str) -> float:
+        """Cosine similarity between a query and a single resource."""
+        concept_bag = self.query_concepts(query_tags)
+        if not concept_bag:
+            return 0.0
+        return self.vector_space.cosine(concept_bag, resource)
+
+    def explain(self, query_tags: Sequence[str], resource: str) -> Dict[str, object]:
+        """A debugging breakdown of how a resource scored for a query."""
+        concept_bag = self.query_concepts(query_tags)
+        query_vector = self.vector_space.query_vector(concept_bag)
+        resource_vector = self.vector_space.resource_vector(resource)
+        overlap = {
+            concept: (query_vector.get(concept, 0.0), resource_vector.get(concept, 0.0))
+            for concept in set(query_vector) | set(resource_vector)
+        }
+        return {
+            "query_tags": list(query_tags),
+            "query_concepts": concept_bag,
+            "cosine": self.score(query_tags, resource),
+            "per_concept_weights": overlap,
+        }

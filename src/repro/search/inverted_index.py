@@ -1,0 +1,134 @@
+"""A sparse inverted index over weighted term vectors.
+
+Documents (resources) are sparse mappings ``term -> weight``; the index
+stores one postings list per term so that scoring a query only touches the
+documents that share at least one term with it.  Cosine normalisation is
+applied at query time using pre-computed document norms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One entry of a postings list: a document id and its term weight."""
+
+    doc_id: str
+    weight: float
+
+
+class InvertedIndex:
+    """Maps terms to postings lists and supports cosine-scored lookups."""
+
+    def __init__(self) -> None:
+        self._postings: Dict[Hashable, List[Posting]] = {}
+        self._doc_norms: Dict[str, float] = {}
+        self._doc_vectors: Dict[str, Dict[Hashable, float]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_document(self, doc_id: str, vector: Mapping[Hashable, float]) -> None:
+        """Add (or replace) a document's weighted term vector."""
+        if doc_id in self._doc_vectors:
+            self.remove_document(doc_id)
+        cleaned = {term: float(w) for term, w in vector.items() if w != 0.0}
+        self._doc_vectors[doc_id] = cleaned
+        norm = float(np.sqrt(sum(w * w for w in cleaned.values())))
+        self._doc_norms[doc_id] = norm
+        for term, weight in cleaned.items():
+            self._postings.setdefault(term, []).append(Posting(doc_id, weight))
+
+    def remove_document(self, doc_id: str) -> None:
+        """Remove a document from the index (no error if absent)."""
+        vector = self._doc_vectors.pop(doc_id, None)
+        self._doc_norms.pop(doc_id, None)
+        if not vector:
+            return
+        for term in vector:
+            postings = self._postings.get(term, [])
+            self._postings[term] = [p for p in postings if p.doc_id != doc_id]
+            if not self._postings[term]:
+                del self._postings[term]
+
+    def build(self, documents: Mapping[str, Mapping[Hashable, float]]) -> "InvertedIndex":
+        """Bulk-load documents; returns ``self`` for chaining."""
+        for doc_id, vector in documents.items():
+            self.add_document(doc_id, vector)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_documents(self) -> int:
+        return len(self._doc_vectors)
+
+    @property
+    def num_terms(self) -> int:
+        return len(self._postings)
+
+    def document_frequency(self, term: Hashable) -> int:
+        """Number of documents containing ``term``."""
+        return len(self._postings.get(term, []))
+
+    def document_vector(self, doc_id: str) -> Dict[Hashable, float]:
+        """The stored vector of a document (empty dict if unknown)."""
+        return dict(self._doc_vectors.get(doc_id, {}))
+
+    def document_norm(self, doc_id: str) -> float:
+        return self._doc_norms.get(doc_id, 0.0)
+
+    def documents(self) -> Iterable[str]:
+        return self._doc_vectors.keys()
+
+    def postings(self, term: Hashable) -> Tuple[Posting, ...]:
+        return tuple(self._postings.get(term, ()))
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+    def cosine_scores(
+        self,
+        query_vector: Mapping[Hashable, float],
+        top_k: Optional[int] = None,
+    ) -> List[Tuple[str, float]]:
+        """Cosine similarity of every matching document with the query.
+
+        Returns ``(doc_id, score)`` pairs sorted by decreasing score (ties
+        broken by doc id for determinism).  Documents sharing no term with
+        the query are omitted — their cosine is zero.
+        """
+        if top_k is not None and top_k < 1:
+            raise ConfigurationError(f"top_k must be >= 1 when given, got {top_k}")
+        query = {term: float(w) for term, w in query_vector.items() if w != 0.0}
+        query_norm = float(np.sqrt(sum(w * w for w in query.values())))
+        if query_norm == 0.0:
+            return []
+
+        accumulator: Dict[str, float] = {}
+        for term, query_weight in query.items():
+            for posting in self._postings.get(term, ()):
+                accumulator[posting.doc_id] = (
+                    accumulator.get(posting.doc_id, 0.0)
+                    + query_weight * posting.weight
+                )
+
+        scored: List[Tuple[str, float]] = []
+        for doc_id, dot in accumulator.items():
+            doc_norm = self._doc_norms.get(doc_id, 0.0)
+            if doc_norm == 0.0:
+                continue
+            scored.append((doc_id, dot / (query_norm * doc_norm)))
+
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        if top_k is not None:
+            scored = scored[:top_k]
+        return scored

@@ -1,0 +1,166 @@
+"""The concept vector-space model: tf-idf weighting and cosine ranking.
+
+Implements Section III of the paper:
+
+* Eq. 2 — ``tf(l, r)`` is the occurrence count of concept ``l`` in resource
+  ``r`` normalised by the total concept occurrences of ``r``,
+* Eq. 1 — ``w(l, r) = tf(l, r) * log(N / n_l)`` with ``N`` the number of
+  resources and ``n_l`` the number of resources containing ``l``,
+* Eq. 4 — resources are ranked by cosine similarity between their weight
+  vector and the query's weight vector.
+
+The model is generic over the "term" type: the CubeLSI pipeline feeds it
+concept ids, while the BOW baseline feeds it raw tags; both go through the
+exact same code path, which keeps the comparison fair.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.search.inverted_index import InvertedIndex
+from repro.utils.errors import ConfigurationError, NotFittedError
+
+
+@dataclass(frozen=True)
+class RankedResult:
+    """One entry of a ranked result list."""
+
+    resource: str
+    score: float
+    rank: int
+
+
+class ConceptVectorSpace:
+    """tf-idf weighted vector space over concept (or tag) bags.
+
+    Parameters
+    ----------
+    smooth_idf:
+        If ``True`` uses ``log((N + 1) / (n_l + 1)) + 1`` which never
+        becomes zero or negative; if ``False`` (default) uses the paper's
+        plain ``log(N / n_l)``.
+    """
+
+    def __init__(self, smooth_idf: bool = False) -> None:
+        self._smooth_idf = smooth_idf
+        self._index: Optional[InvertedIndex] = None
+        self._idf: Dict[Hashable, float] = {}
+        self._num_resources = 0
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    def fit(self, resource_bags: Mapping[str, Mapping[Hashable, float]]) -> "ConceptVectorSpace":
+        """Build the index from ``resource -> {term -> occurrence count}``."""
+        if not resource_bags:
+            raise ConfigurationError("cannot fit a vector space on zero resources")
+        self._num_resources = len(resource_bags)
+
+        document_frequency: Dict[Hashable, int] = {}
+        for bag in resource_bags.values():
+            for term, count in bag.items():
+                if count > 0:
+                    document_frequency[term] = document_frequency.get(term, 0) + 1
+
+        self._idf = {
+            term: self._idf_value(df) for term, df in document_frequency.items()
+        }
+
+        index = InvertedIndex()
+        for resource, bag in resource_bags.items():
+            index.add_document(resource, self._weight_vector(bag))
+        self._index = index
+        return self
+
+    @property
+    def num_resources(self) -> int:
+        return self._num_resources
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._idf)
+
+    def idf(self, term: Hashable) -> float:
+        """The idf of ``term`` (0 for unseen terms)."""
+        return self._idf.get(term, 0.0)
+
+    def resource_vector(self, resource: str) -> Dict[Hashable, float]:
+        """The stored tf-idf vector of a resource."""
+        self._require_fitted()
+        assert self._index is not None
+        return self._index.document_vector(resource)
+
+    # ------------------------------------------------------------------ #
+    # Query processing
+    # ------------------------------------------------------------------ #
+    def query_vector(self, query_bag: Mapping[Hashable, float]) -> Dict[Hashable, float]:
+        """tf-idf weight vector of a query bag (same weighting as resources)."""
+        self._require_fitted()
+        return self._weight_vector(query_bag)
+
+    def rank(
+        self,
+        query_bag: Mapping[Hashable, float],
+        top_k: Optional[int] = None,
+    ) -> List[RankedResult]:
+        """Rank resources by cosine similarity with the query (Eq. 4)."""
+        self._require_fitted()
+        assert self._index is not None
+        vector = self.query_vector(query_bag)
+        scored = self._index.cosine_scores(vector, top_k=top_k)
+        return [
+            RankedResult(resource=resource, score=score, rank=position + 1)
+            for position, (resource, score) in enumerate(scored)
+        ]
+
+    def cosine(self, query_bag: Mapping[Hashable, float], resource: str) -> float:
+        """Cosine similarity between a query bag and one resource."""
+        self._require_fitted()
+        assert self._index is not None
+        vector = self.query_vector(query_bag)
+        document = self._index.document_vector(resource)
+        if not vector or not document:
+            return 0.0
+        dot = sum(weight * document.get(term, 0.0) for term, weight in vector.items())
+        query_norm = math.sqrt(sum(w * w for w in vector.values()))
+        doc_norm = self._index.document_norm(resource)
+        if query_norm == 0.0 or doc_norm == 0.0:
+            return 0.0
+        return dot / (query_norm * doc_norm)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _idf_value(self, document_frequency: int) -> float:
+        if self._smooth_idf:
+            return math.log((self._num_resources + 1) / (document_frequency + 1)) + 1.0
+        if document_frequency <= 0:
+            return 0.0
+        return math.log(self._num_resources / document_frequency)
+
+    def _weight_vector(self, bag: Mapping[Hashable, float]) -> Dict[Hashable, float]:
+        """Apply Eq. 1-2: normalised term frequency times idf."""
+        total = float(sum(count for count in bag.values() if count > 0))
+        if total <= 0.0:
+            return {}
+        weights: Dict[Hashable, float] = {}
+        for term, count in bag.items():
+            if count <= 0:
+                continue
+            tf = float(count) / total
+            idf = self._idf.get(term)
+            if idf is None:
+                # Terms never seen in the corpus cannot help ranking under
+                # plain idf; with smoothing they get the maximum idf.
+                idf = self._idf_value(0) if self._smooth_idf else 0.0
+            weight = tf * idf
+            if weight != 0.0:
+                weights[term] = weight
+        return weights
+
+    def _require_fitted(self) -> None:
+        if self._index is None:
+            raise NotFittedError("ConceptVectorSpace.fit() has not been called")

@@ -1,0 +1,36 @@
+"""Semantic ground truth: a WordNet substitute with Jiang-Conrath distance.
+
+The paper's Table III evaluates how well each method's tag distances agree
+with an *external* semantic reference — WordNet with the Jiang-Conrath (JCN)
+distance.  WordNet itself cannot ship with this reproduction, so this
+subpackage builds the equivalent machinery over the generator's ground
+truth:
+
+* :mod:`repro.semantics.taxonomy` — a rooted IS-A taxonomy (domain → aspect
+  → concept → surface tag) with corpus-based information content,
+* :mod:`repro.semantics.jcn` — Resnik information content and the
+  Jiang-Conrath distance ``IC(a) + IC(b) - 2 IC(lcs(a, b))``,
+* :mod:`repro.semantics.lexicon` — which tags are "in" the reference (the
+  analogue of "tags that appear in WordNet"),
+* :mod:`repro.semantics.evaluation` — the JCN-average and Rank-average
+  metrics of Table III.
+"""
+
+from repro.semantics.taxonomy import Taxonomy, TaxonomyNode, build_taxonomy_from_vocabulary
+from repro.semantics.jcn import JcnDistance
+from repro.semantics.lexicon import SemanticLexicon, build_lexicon
+from repro.semantics.evaluation import (
+    TagDistanceAccuracy,
+    evaluate_tag_distances,
+)
+
+__all__ = [
+    "Taxonomy",
+    "TaxonomyNode",
+    "build_taxonomy_from_vocabulary",
+    "JcnDistance",
+    "SemanticLexicon",
+    "build_lexicon",
+    "TagDistanceAccuracy",
+    "evaluate_tag_distances",
+]

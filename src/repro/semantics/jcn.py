@@ -1,0 +1,112 @@
+"""Jiang-Conrath semantic distance over the taxonomy.
+
+Jiang & Conrath (1997) define the distance between two senses as
+
+    d_JCN(a, b) = IC(a) + IC(b) - 2 * IC(lcs(a, b))
+
+with ``IC`` the Resnik information content and ``lcs`` the lowest common
+subsumer.  For *tags* (which may have several senses) the distance is the
+minimum over all sense pairs, matching the convention of the WordNet
+similarity packages the paper's evaluation relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.semantics.taxonomy import Taxonomy
+from repro.utils.errors import ConfigurationError
+
+
+class JcnDistance:
+    """Computes Jiang-Conrath distances between tags of a taxonomy."""
+
+    def __init__(self, taxonomy: Taxonomy) -> None:
+        if not taxonomy.has_counts:
+            raise ConfigurationError(
+                "the taxonomy needs corpus counts (set_corpus_counts) before "
+                "JCN distances can be computed"
+            )
+        self._taxonomy = taxonomy
+        self._ic_cache: Dict[int, float] = {}
+
+    @property
+    def taxonomy(self) -> Taxonomy:
+        return self._taxonomy
+
+    def contains(self, tag: str) -> bool:
+        """Whether ``tag`` is covered by the reference taxonomy."""
+        return self._taxonomy.contains_tag(tag)
+
+    def information_content(self, node_id: int) -> float:
+        if node_id not in self._ic_cache:
+            self._ic_cache[node_id] = self._taxonomy.information_content(node_id)
+        return self._ic_cache[node_id]
+
+    def distance(self, tag_a: str, tag_b: str) -> float:
+        """JCN distance between two tags (0 for a tag with itself).
+
+        Raises ``KeyError`` if either tag is not covered by the taxonomy.
+        """
+        if not self.contains(tag_a):
+            raise KeyError(f"tag {tag_a!r} is not covered by the taxonomy")
+        if not self.contains(tag_b):
+            raise KeyError(f"tag {tag_b!r} is not covered by the taxonomy")
+        if tag_a == tag_b:
+            return 0.0
+        best: Optional[float] = None
+        for sense_a in self._taxonomy.senses(tag_a):
+            for sense_b in self._taxonomy.senses(tag_b):
+                value = self._sense_distance(sense_a, sense_b)
+                if best is None or value < best:
+                    best = value
+        assert best is not None
+        return best
+
+    def most_similar(self, tag: str, candidates) -> Tuple[Optional[str], float]:
+        """The candidate with the smallest JCN distance from ``tag``.
+
+        Candidates not covered by the taxonomy are skipped; returns
+        ``(None, inf)`` if nothing is comparable.
+        """
+        best_tag: Optional[str] = None
+        best_distance = float("inf")
+        for candidate in candidates:
+            if candidate == tag or not self.contains(candidate):
+                continue
+            value = self.distance(tag, candidate)
+            if value < best_distance or (
+                value == best_distance and (best_tag is None or candidate < best_tag)
+            ):
+                best_tag = candidate
+                best_distance = value
+        return best_tag, best_distance
+
+    def rank_of(self, tag: str, target: str, candidates) -> int:
+        """1-based rank of ``target`` among ``candidates`` sorted by distance from ``tag``.
+
+        Mirrors the paper's ``Rank(t, t_sim)``: rank 1 means ``target`` is
+        the closest candidate according to the reference distance.
+        """
+        if not self.contains(tag) or not self.contains(target):
+            raise KeyError("both tags must be covered by the taxonomy")
+        target_distance = self.distance(tag, target)
+        rank = 1
+        for candidate in candidates:
+            if candidate in (tag, target) or not self.contains(candidate):
+                continue
+            if self.distance(tag, candidate) < target_distance:
+                rank += 1
+        return rank
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _sense_distance(self, sense_a: int, sense_b: int) -> float:
+        lcs = self._taxonomy.lowest_common_subsumer(sense_a, sense_b)
+        value = (
+            self.information_content(sense_a)
+            + self.information_content(sense_b)
+            - 2.0 * self.information_content(lcs)
+        )
+        return max(0.0, value)

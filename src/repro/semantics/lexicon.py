@@ -1,0 +1,69 @@
+"""The semantic lexicon: which tags the reference taxonomy covers.
+
+The paper restricts the Table III evaluation to the ~50% of Bibsonomy tags
+that appear in WordNet; :class:`SemanticLexicon` plays the same role here —
+it pairs a :class:`~repro.semantics.jcn.JcnDistance` with the subset of a
+corpus's tags the taxonomy can judge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+from repro.datasets.generator import SyntheticDataset
+from repro.semantics.jcn import JcnDistance
+from repro.semantics.taxonomy import Taxonomy, build_taxonomy_from_vocabulary
+from repro.tagging.folksonomy import Folksonomy
+
+
+@dataclass
+class SemanticLexicon:
+    """A JCN reference restricted to the tags it actually covers."""
+
+    jcn: JcnDistance
+    covered_tags: FrozenSet[str]
+
+    def __contains__(self, tag: str) -> bool:
+        return tag in self.covered_tags
+
+    @property
+    def size(self) -> int:
+        return len(self.covered_tags)
+
+    def coverage_of(self, tags: Sequence[str]) -> float:
+        """Fraction of ``tags`` the lexicon can judge."""
+        if not tags:
+            return 0.0
+        covered = sum(1 for tag in tags if tag in self.covered_tags)
+        return covered / len(tags)
+
+    def judgeable_tags(self, tags: Sequence[str]) -> Tuple[str, ...]:
+        """The subset of ``tags`` covered by the lexicon (the paper's set D)."""
+        return tuple(tag for tag in tags if tag in self.covered_tags)
+
+
+def build_lexicon(
+    dataset: SyntheticDataset,
+    folksonomy: Optional[Folksonomy] = None,
+) -> SemanticLexicon:
+    """Build the lexicon for a synthetic corpus.
+
+    Parameters
+    ----------
+    dataset:
+        The generated corpus whose vocabulary defines the taxonomy.
+    folksonomy:
+        The (typically cleaned) folksonomy whose tag usage counts drive the
+        information content; defaults to the dataset's own folksonomy.
+    """
+    corpus = folksonomy if folksonomy is not None else dataset.folksonomy
+    _, tag_counts, _ = corpus.assignment_counts()
+    taxonomy: Taxonomy = build_taxonomy_from_vocabulary(
+        dataset.ground_truth.vocabulary, tag_counts=tag_counts
+    )
+    jcn = JcnDistance(taxonomy)
+    covered = frozenset(
+        tag for tag in corpus.tags if taxonomy.contains_tag(tag)
+    )
+    return SemanticLexicon(jcn=jcn, covered_tags=covered)

@@ -1,0 +1,61 @@
+"""Value objects describing the entities of a social tagging system.
+
+The paper works with four entity types: users (taggers) ``U``, tags ``T``,
+resources ``R`` and tag assignments ``Y ⊆ U × T × R``.  Entities are plain
+strings at the data layer; the :class:`repro.tagging.folksonomy.Folksonomy`
+container interns them into dense integer ids when numeric work begins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class TagAssignment:
+    """A single ``(user, tag, resource)`` annotation event.
+
+    Instances are hashable and order-comparable so collections of
+    assignments can be deduplicated and stored in sets, mirroring the
+    set-semantics of ``Y`` in the paper (Eq. 5 maps each distinct triple to
+    a 1 in the tensor regardless of how many times it was observed).
+    """
+
+    user: str
+    tag: str
+    resource: str
+
+    def as_tuple(self) -> Tuple[str, str, str]:
+        """The assignment as a plain ``(user, tag, resource)`` tuple."""
+        return (self.user, self.tag, self.resource)
+
+    def with_tag(self, tag: str) -> "TagAssignment":
+        """A copy of this assignment annotated with a different tag label."""
+        return TagAssignment(user=self.user, tag=tag, resource=self.resource)
+
+    def __lt__(self, other: "TagAssignment") -> bool:
+        if not isinstance(other, TagAssignment):
+            return NotImplemented
+        return self.as_tuple() < other.as_tuple()
+
+
+@dataclass(frozen=True, slots=True)
+class PostKey:
+    """Identifies a *post*: one user's annotation of one resource.
+
+    Posts group the tags a single user attached to a single resource; they
+    are the unit several tagging systems (and the Bibsonomy dumps) use for
+    export, and the unit the synthetic generator produces.
+    """
+
+    user: str
+    resource: str
+
+    def as_tuple(self) -> Tuple[str, str]:
+        return (self.user, self.resource)
+
+    def __lt__(self, other: "PostKey") -> bool:
+        if not isinstance(other, PostKey):
+            return NotImplemented
+        return self.as_tuple() < other.as_tuple()

@@ -1,0 +1,320 @@
+"""The in-memory folksonomy: users, tags, resources and their assignments.
+
+:class:`Folksonomy` is the central data structure of the library.  It stores
+the distinct labels of each dimension, interns them into dense integer ids,
+maintains the per-dimension indexes that the rankers need (which tags a
+resource carries, who used a tag on a resource, ...) and exports the numeric
+representations used downstream:
+
+* the third-order binary tensor ``F`` of Eq. 5 (``to_tensor``),
+* the user-aggregated tag-resource count matrix of Fig. 3 (``to_tag_resource_matrix``),
+* per-resource tag bags for the IR layer (``tag_bag``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.tagging.entities import TagAssignment
+from repro.tensor.sparse import SparseTensor
+from repro.utils.errors import ConfigurationError
+
+
+class Folksonomy:
+    """An immutable collection of tag assignments with fast lookups.
+
+    Parameters
+    ----------
+    assignments:
+        Any iterable of :class:`TagAssignment` or ``(user, tag, resource)``
+        tuples.  Duplicates are collapsed (``Y`` is a set).
+    name:
+        Optional human-readable dataset name carried through reports.
+    """
+
+    def __init__(
+        self,
+        assignments: Iterable,
+        name: str = "folksonomy",
+    ) -> None:
+        normalized: Set[TagAssignment] = set()
+        for item in assignments:
+            if isinstance(item, TagAssignment):
+                normalized.add(item)
+            else:
+                user, tag, resource = item
+                normalized.add(
+                    TagAssignment(user=str(user), tag=str(tag), resource=str(resource))
+                )
+        self._name = name
+        self._assignments: Tuple[TagAssignment, ...] = tuple(sorted(normalized))
+
+        users = sorted({a.user for a in self._assignments})
+        tags = sorted({a.tag for a in self._assignments})
+        resources = sorted({a.resource for a in self._assignments})
+        self._users = tuple(users)
+        self._tags = tuple(tags)
+        self._resources = tuple(resources)
+        self._user_index = {label: i for i, label in enumerate(users)}
+        self._tag_index = {label: i for i, label in enumerate(tags)}
+        self._resource_index = {label: i for i, label in enumerate(resources)}
+
+        tags_by_resource: Dict[str, Counter] = defaultdict(Counter)
+        users_by_tag_resource: Dict[Tuple[str, str], Set[str]] = defaultdict(set)
+        resources_by_tag: Dict[str, Set[str]] = defaultdict(set)
+        tags_by_user: Dict[str, Set[str]] = defaultdict(set)
+        resources_by_user: Dict[str, Set[str]] = defaultdict(set)
+        assignment_count_by_user: Counter = Counter()
+        assignment_count_by_tag: Counter = Counter()
+        assignment_count_by_resource: Counter = Counter()
+
+        for a in self._assignments:
+            tags_by_resource[a.resource][a.tag] += 1
+            users_by_tag_resource[(a.tag, a.resource)].add(a.user)
+            resources_by_tag[a.tag].add(a.resource)
+            tags_by_user[a.user].add(a.tag)
+            resources_by_user[a.user].add(a.resource)
+            assignment_count_by_user[a.user] += 1
+            assignment_count_by_tag[a.tag] += 1
+            assignment_count_by_resource[a.resource] += 1
+
+        self._tags_by_resource = {r: dict(c) for r, c in tags_by_resource.items()}
+        self._users_by_tag_resource = {
+            key: frozenset(users) for key, users in users_by_tag_resource.items()
+        }
+        self._resources_by_tag = {t: frozenset(r) for t, r in resources_by_tag.items()}
+        self._tags_by_user = {u: frozenset(t) for u, t in tags_by_user.items()}
+        self._resources_by_user = {
+            u: frozenset(r) for u, r in resources_by_user.items()
+        }
+        self._assignment_count_by_user = dict(assignment_count_by_user)
+        self._assignment_count_by_tag = dict(assignment_count_by_tag)
+        self._assignment_count_by_resource = dict(assignment_count_by_resource)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def users(self) -> Tuple[str, ...]:
+        """Distinct user labels in deterministic (sorted) order."""
+        return self._users
+
+    @property
+    def tags(self) -> Tuple[str, ...]:
+        """Distinct tag labels in deterministic (sorted) order."""
+        return self._tags
+
+    @property
+    def resources(self) -> Tuple[str, ...]:
+        """Distinct resource labels in deterministic (sorted) order."""
+        return self._resources
+
+    @property
+    def assignments(self) -> Tuple[TagAssignment, ...]:
+        """All distinct assignments, sorted."""
+        return self._assignments
+
+    @property
+    def num_users(self) -> int:
+        return len(self._users)
+
+    @property
+    def num_tags(self) -> int:
+        return len(self._tags)
+
+    @property
+    def num_resources(self) -> int:
+        return len(self._resources)
+
+    @property
+    def num_assignments(self) -> int:
+        return len(self._assignments)
+
+    def __len__(self) -> int:
+        return self.num_assignments
+
+    def __iter__(self) -> Iterator[TagAssignment]:
+        return iter(self._assignments)
+
+    def __contains__(self, item) -> bool:
+        if isinstance(item, TagAssignment):
+            return item in set(self._assignments)
+        if isinstance(item, tuple) and len(item) == 3:
+            return TagAssignment(*map(str, item)) in set(self._assignments)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Folksonomy(name={self._name!r}, |U|={self.num_users}, "
+            f"|T|={self.num_tags}, |R|={self.num_resources}, "
+            f"|Y|={self.num_assignments})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Id interning
+    # ------------------------------------------------------------------ #
+    def user_id(self, user: str) -> int:
+        """Dense integer id of ``user`` (raises ``KeyError`` if unknown)."""
+        return self._user_index[user]
+
+    def tag_id(self, tag: str) -> int:
+        """Dense integer id of ``tag`` (raises ``KeyError`` if unknown)."""
+        return self._tag_index[tag]
+
+    def resource_id(self, resource: str) -> int:
+        """Dense integer id of ``resource`` (raises ``KeyError`` if unknown)."""
+        return self._resource_index[resource]
+
+    def has_tag(self, tag: str) -> bool:
+        return tag in self._tag_index
+
+    def has_resource(self, resource: str) -> bool:
+        return resource in self._resource_index
+
+    def has_user(self, user: str) -> bool:
+        return user in self._user_index
+
+    # ------------------------------------------------------------------ #
+    # Relationship queries
+    # ------------------------------------------------------------------ #
+    def tags_of_resource(self, resource: str) -> Mapping[str, int]:
+        """``tag -> number of distinct users`` who applied it to ``resource``.
+
+        This is ``tags(r)`` of the Freq baseline with per-tag user counts.
+        """
+        return dict(self._tags_by_resource.get(resource, {}))
+
+    def users_of(self, tag: str, resource: str) -> FrozenSet[str]:
+        """``users(t, r)``: users who annotated ``resource`` with ``tag``."""
+        return self._users_by_tag_resource.get((tag, resource), frozenset())
+
+    def resources_of_tag(self, tag: str) -> FrozenSet[str]:
+        """All resources that carry ``tag`` at least once."""
+        return self._resources_by_tag.get(tag, frozenset())
+
+    def tags_of_user(self, user: str) -> FrozenSet[str]:
+        """All tags ``user`` has ever applied."""
+        return self._tags_by_user.get(user, frozenset())
+
+    def resources_of_user(self, user: str) -> FrozenSet[str]:
+        """All resources ``user`` has annotated."""
+        return self._resources_by_user.get(user, frozenset())
+
+    def tag_bag(self, resource: str) -> Dict[str, int]:
+        """Bag-of-tags of a resource: tag -> occurrence count (user votes)."""
+        return dict(self._tags_by_resource.get(resource, {}))
+
+    def assignment_counts(self) -> Tuple[Dict[str, int], Dict[str, int], Dict[str, int]]:
+        """Per-user, per-tag and per-resource assignment counts."""
+        return (
+            dict(self._assignment_count_by_user),
+            dict(self._assignment_count_by_tag),
+            dict(self._assignment_count_by_resource),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Numeric exports
+    # ------------------------------------------------------------------ #
+    def to_tensor(self) -> SparseTensor:
+        """The binary third-order tensor ``F`` of Eq. 5.
+
+        Mode order is ``(users, tags, resources)`` as in the paper, so the
+        mode-1 slices ``F[:, t, :]`` are the user-resource feature matrices
+        of individual tags.
+        """
+        if not self._assignments:
+            raise ConfigurationError("cannot build a tensor from an empty folksonomy")
+        coords = np.empty((3, len(self._assignments)), dtype=np.int64)
+        for column, a in enumerate(self._assignments):
+            coords[0, column] = self._user_index[a.user]
+            coords[1, column] = self._tag_index[a.tag]
+            coords[2, column] = self._resource_index[a.resource]
+        values = np.ones(len(self._assignments), dtype=float)
+        shape = (self.num_users, self.num_tags, self.num_resources)
+        return SparseTensor(coords, values, shape)
+
+    def to_tag_resource_matrix(self) -> sp.csr_matrix:
+        """User-aggregated tag-resource count matrix (Fig. 3).
+
+        Entry ``(t, r)`` is the number of distinct users who assigned tag
+        ``t`` to resource ``r``; this is the input of the BOW and LSI
+        baselines.
+        """
+        rows = []
+        cols = []
+        values = []
+        for (tag, resource), users in self._users_by_tag_resource.items():
+            rows.append(self._tag_index[tag])
+            cols.append(self._resource_index[resource])
+            values.append(float(len(users)))
+        matrix = sp.coo_matrix(
+            (values, (rows, cols)), shape=(self.num_tags, self.num_resources)
+        )
+        return matrix.tocsr()
+
+    def to_user_tag_matrix(self) -> sp.csr_matrix:
+        """User-tag count matrix (how many resources each user tagged with t)."""
+        pair_counts: Counter = Counter()
+        for a in self._assignments:
+            pair_counts[(a.user, a.tag)] += 1
+        rows = [self._user_index[u] for (u, _t) in pair_counts]
+        cols = [self._tag_index[t] for (_u, t) in pair_counts]
+        values = [float(c) for c in pair_counts.values()]
+        matrix = sp.coo_matrix(
+            (values, (rows, cols)), shape=(self.num_users, self.num_tags)
+        )
+        return matrix.tocsr()
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def filter(
+        self,
+        keep_users: Optional[Set[str]] = None,
+        keep_tags: Optional[Set[str]] = None,
+        keep_resources: Optional[Set[str]] = None,
+        name: Optional[str] = None,
+    ) -> "Folksonomy":
+        """A new folksonomy restricted to the given label sets.
+
+        ``None`` keeps a dimension unrestricted.  Labels of the other
+        dimensions that lose all their assignments disappear automatically
+        because the new instance recomputes its vocabularies.
+        """
+        kept = [
+            a
+            for a in self._assignments
+            if (keep_users is None or a.user in keep_users)
+            and (keep_tags is None or a.tag in keep_tags)
+            and (keep_resources is None or a.resource in keep_resources)
+        ]
+        return Folksonomy(kept, name=name or self._name)
+
+    def map_tags(self, mapping: Mapping[str, str], name: Optional[str] = None) -> "Folksonomy":
+        """Relabel tags through ``mapping`` (labels not present map to themselves)."""
+        relabeled = [
+            TagAssignment(a.user, mapping.get(a.tag, a.tag), a.resource)
+            for a in self._assignments
+        ]
+        return Folksonomy(relabeled, name=name or self._name)
+
+    def merge(self, other: "Folksonomy", name: Optional[str] = None) -> "Folksonomy":
+        """Union of two folksonomies."""
+        return Folksonomy(
+            list(self._assignments) + list(other.assignments),
+            name=name or self._name,
+        )
+
+    def sample_resources(
+        self, resources: Sequence[str], name: Optional[str] = None
+    ) -> "Folksonomy":
+        """Restrict to a subset of resources given as a sequence."""
+        return self.filter(keep_resources=set(resources), name=name)

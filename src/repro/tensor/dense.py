@@ -1,0 +1,139 @@
+"""Dense tensor operations: unfolding, folding and n-mode products.
+
+The convention used throughout the library is the "mode-first" unfolding:
+``unfold(X, n)`` moves axis ``n`` to the front and reshapes the remaining
+axes, in their original order, into the columns.  ``fold`` is its exact
+inverse.  All identities the library relies on (``X ×_n U`` equals
+``fold(U @ unfold(X, n), n, ...)``; rows of the mode-2 unfolding are the
+vectorised tag slices) hold under this convention.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.errors import DimensionError
+
+
+def unfold(tensor: np.ndarray, mode: int) -> np.ndarray:
+    """Matricise ``tensor`` along ``mode``.
+
+    The result has shape ``(tensor.shape[mode], prod(other dims))``.  Row
+    ``i`` of the unfolding is the vectorisation (C order, remaining axes in
+    their original order) of the slice obtained by fixing index ``i`` on
+    axis ``mode``.
+    """
+    tensor = np.asarray(tensor)
+    if not 0 <= mode < tensor.ndim:
+        raise DimensionError(
+            f"mode {mode} out of range for a tensor of order {tensor.ndim}"
+        )
+    return np.reshape(np.moveaxis(tensor, mode, 0), (tensor.shape[mode], -1))
+
+
+def fold(matrix: np.ndarray, mode: int, shape: Sequence[int]) -> np.ndarray:
+    """Inverse of :func:`unfold`: restore a matricised tensor.
+
+    Parameters
+    ----------
+    matrix:
+        The mode-``mode`` unfolding.
+    mode:
+        Which axis was moved to the front when unfolding.
+    shape:
+        The target tensor shape *after* folding (i.e. the shape the tensor
+        should have, with ``shape[mode] == matrix.shape[0]``).
+    """
+    matrix = np.asarray(matrix)
+    shape = tuple(int(s) for s in shape)
+    if not 0 <= mode < len(shape):
+        raise DimensionError(
+            f"mode {mode} out of range for target shape {shape}"
+        )
+    if matrix.ndim != 2:
+        raise DimensionError("fold expects a 2-D matricised tensor")
+    expected_rows = shape[mode]
+    other = tuple(s for i, s in enumerate(shape) if i != mode)
+    expected_cols = int(np.prod(other)) if other else 1
+    if matrix.shape != (expected_rows, expected_cols):
+        raise DimensionError(
+            f"matrix of shape {matrix.shape} cannot be folded into {shape} "
+            f"along mode {mode} (expected {(expected_rows, expected_cols)})"
+        )
+    moved_shape = (shape[mode],) + other
+    return np.moveaxis(matrix.reshape(moved_shape), 0, mode)
+
+
+def mode_product(tensor: np.ndarray, matrix: np.ndarray, mode: int) -> np.ndarray:
+    """Compute the n-mode product ``tensor ×_mode matrix``.
+
+    ``matrix`` must have shape ``(J, tensor.shape[mode])``; the result has
+    the same shape as ``tensor`` except that axis ``mode`` has size ``J``.
+    """
+    tensor = np.asarray(tensor)
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise DimensionError("mode_product expects a 2-D matrix")
+    if matrix.shape[1] != tensor.shape[mode]:
+        raise DimensionError(
+            f"matrix with {matrix.shape[1]} columns cannot multiply mode "
+            f"{mode} of size {tensor.shape[mode]}"
+        )
+    unfolded = unfold(tensor, mode)
+    product = matrix @ unfolded
+    new_shape = list(tensor.shape)
+    new_shape[mode] = matrix.shape[0]
+    return fold(product, mode, new_shape)
+
+
+def multi_mode_product(
+    tensor: np.ndarray,
+    matrices: Iterable[Tuple[int, np.ndarray]],
+) -> np.ndarray:
+    """Apply several n-mode products in sequence.
+
+    ``matrices`` is an iterable of ``(mode, matrix)`` pairs.  Products along
+    distinct modes commute, so the order only affects intermediate sizes;
+    callers that care about peak memory should order the pairs so the most
+    size-reducing products come first.
+    """
+    result = np.asarray(tensor)
+    for mode, matrix in matrices:
+        result = mode_product(result, matrix, mode)
+    return result
+
+
+def frobenius_norm(tensor: np.ndarray) -> float:
+    """Frobenius norm of a dense tensor (Eq. 15 of the paper)."""
+    tensor = np.asarray(tensor, dtype=float)
+    return float(np.sqrt(np.sum(tensor * tensor)))
+
+
+def outer_product(vectors: Sequence[np.ndarray]) -> np.ndarray:
+    """Rank-one tensor built from the outer product of ``vectors``."""
+    if not vectors:
+        raise DimensionError("outer_product requires at least one vector")
+    result = np.asarray(vectors[0], dtype=float)
+    for vector in vectors[1:]:
+        result = np.multiply.outer(result, np.asarray(vector, dtype=float))
+    return result
+
+
+def tensor_from_tucker(
+    core: np.ndarray, factors: Sequence[np.ndarray]
+) -> np.ndarray:
+    """Reconstruct ``core ×_1 factors[0] ×_2 factors[1] ...`` densely.
+
+    Only intended for small tensors (tests, the paper's running example);
+    the whole point of CubeLSI's Theorems 1 and 2 is that real experiments
+    never need to call this.
+    """
+    core = np.asarray(core, dtype=float)
+    if len(factors) != core.ndim:
+        raise DimensionError(
+            f"need one factor per mode: core has order {core.ndim}, got "
+            f"{len(factors)} factors"
+        )
+    return multi_mode_product(core, list(enumerate(factors)))

@@ -1,0 +1,42 @@
+"""Shared utilities: configuration, randomness, timing, logging and validation.
+
+The rest of the library is deliberately built on this thin layer so that all
+stochastic behaviour flows through a single seedable entry point
+(:func:`repro.utils.rng.make_rng`) and all experiment timing uses the same
+:class:`repro.utils.timing.Stopwatch`.
+"""
+
+from repro.utils.errors import (
+    ReproError,
+    ConfigurationError,
+    DataFormatError,
+    DimensionError,
+    NotFittedError,
+)
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.timing import Stopwatch, Timer, format_duration
+from repro.utils.validation import (
+    check_positive_int,
+    check_probability,
+    check_ratio,
+    check_shape_2d,
+    check_square,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "DataFormatError",
+    "DimensionError",
+    "NotFittedError",
+    "make_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "Timer",
+    "format_duration",
+    "check_positive_int",
+    "check_probability",
+    "check_ratio",
+    "check_shape_2d",
+    "check_square",
+]

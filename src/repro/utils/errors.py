@@ -1,0 +1,32 @@
+"""Exception hierarchy used across the library.
+
+Every error raised by ``repro`` derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish configuration mistakes from data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is constructed with invalid parameters."""
+
+
+class DataFormatError(ReproError):
+    """Raised when an input file or record stream is malformed."""
+
+
+class DimensionError(ReproError):
+    """Raised when tensor/matrix shapes are inconsistent with an operation."""
+
+
+class NotFittedError(ReproError):
+    """Raised when a model is queried before :meth:`fit` has been called."""
+
+
+class ConvergenceWarning(UserWarning):
+    """Warning emitted when an iterative solver stops before converging."""

@@ -1,0 +1,111 @@
+"""Wall-clock timing helpers used by the efficiency experiments."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+from contextlib import contextmanager
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in a human-friendly unit (us, ms, s, min, h)."""
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.2f}s"
+    if seconds < 3600.0:
+        return f"{seconds / 60.0:.2f}min"
+    return f"{seconds / 3600.0:.2f}h"
+
+
+@dataclass
+class Timer:
+    """A single start/stop timer.
+
+    ``Timer`` can be used either manually (``start()`` / ``stop()``) or as a
+    context manager; ``elapsed`` holds the most recent measurement.
+    """
+
+    elapsed: float = 0.0
+    _started_at: Optional[float] = field(default=None, repr=False)
+
+    def start(self) -> "Timer":
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed = time.perf_counter() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+class Stopwatch:
+    """Accumulates named timing sections across an experiment.
+
+    Example
+    -------
+    >>> watch = Stopwatch()
+    >>> with watch.section("decomposition"):
+    ...     pass
+    >>> "decomposition" in watch.totals()
+    True
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record an externally measured duration under ``name``."""
+        if seconds < 0:
+            raise ValueError("cannot add a negative duration")
+        self._totals[name] = self._totals.get(name, 0.0) + seconds
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    def totals(self) -> Dict[str, float]:
+        """Total seconds accumulated per section."""
+        return dict(self._totals)
+
+    def counts(self) -> Dict[str, int]:
+        """Number of times each section was entered."""
+        return dict(self._counts)
+
+    def mean(self, name: str) -> float:
+        """Average duration of one entry into ``name``."""
+        if name not in self._totals:
+            raise KeyError(f"no timing section named {name!r}")
+        return self._totals[name] / self._counts[name]
+
+    def report(self) -> str:
+        """Multi-line human-readable summary, longest sections first."""
+        lines = []
+        for name, total in sorted(self._totals.items(), key=lambda kv: -kv[1]):
+            count = self._counts[name]
+            lines.append(
+                f"{name:<40s} {format_duration(total):>10s}  (n={count}, "
+                f"mean={format_duration(total / count)})"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Parameter and array validation helpers.
+
+These functions centralise the defensive checks performed at public API
+boundaries so the error messages stay consistent across the library.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.errors import ConfigurationError, DimensionError
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an integer greater than zero."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_non_negative_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an integer greater than or equal to zero."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value}")
+    return int(value)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_ratio(value: float, name: str, minimum: float = 1.0) -> float:
+    """Validate a reduction ratio (must be >= ``minimum``)."""
+    value = float(value)
+    if value < minimum:
+        raise ConfigurationError(
+            f"{name} must be >= {minimum}, got {value}"
+        )
+    return value
+
+
+def check_shape_2d(array: np.ndarray, name: str) -> np.ndarray:
+    """Validate that ``array`` is two-dimensional and return it as ndarray."""
+    array = np.asarray(array)
+    if array.ndim != 2:
+        raise DimensionError(
+            f"{name} must be a 2-D array, got shape {array.shape}"
+        )
+    return array
+
+
+def check_square(array: np.ndarray, name: str) -> np.ndarray:
+    """Validate that ``array`` is a square 2-D matrix."""
+    array = check_shape_2d(array, name)
+    if array.shape[0] != array.shape[1]:
+        raise DimensionError(
+            f"{name} must be square, got shape {array.shape}"
+        )
+    return array
+
+
+def check_same_length(a, b, name_a: str, name_b: str) -> Tuple:
+    """Validate that two sequences have the same length."""
+    if len(a) != len(b):
+        raise DimensionError(
+            f"{name_a} (len {len(a)}) and {name_b} (len {len(b)}) must have "
+            "the same length"
+        )
+    return a, b
+
+
+def check_finite(array: np.ndarray, name: str) -> np.ndarray:
+    """Validate that ``array`` contains no NaN or infinity."""
+    array = np.asarray(array, dtype=float)
+    if not np.all(np.isfinite(array)):
+        raise DimensionError(f"{name} contains NaN or infinite values")
+    return array

@@ -1,0 +1,94 @@
+"""Shared pytest fixtures.
+
+Fixtures that are expensive to build (generated corpora, fitted CubeLSI
+models) are session-scoped so the suite stays fast while still exercising
+realistic data.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.cubelsi import CubeLSI
+from repro.datasets.generator import FolksonomyGenerator, GeneratorConfig
+from repro.datasets.profiles import BIBSONOMY_PROFILE, generate_profile_dataset
+from repro.datasets.queries import build_query_workload
+from repro.datasets.toy import running_example_folksonomy
+from repro.datasets.vocabulary import build_default_vocabulary
+from repro.semantics.lexicon import build_lexicon
+from repro.tagging.cleaning import CleaningConfig, clean_folksonomy
+from repro.utils.errors import ConvergenceWarning
+
+warnings.filterwarnings("ignore", category=ConvergenceWarning)
+
+
+@pytest.fixture(scope="session")
+def toy_folksonomy():
+    """The paper's Figure 2 running example."""
+    return running_example_folksonomy()
+
+
+@pytest.fixture(scope="session")
+def toy_tensor(toy_folksonomy):
+    return toy_folksonomy.to_tensor()
+
+
+@pytest.fixture(scope="session")
+def toy_cubelsi_result(toy_folksonomy):
+    """CubeLSI fitted on the running example with the paper's core size."""
+    return CubeLSI(ranks=(3, 3, 2), max_iter=100, seed=0).fit(toy_folksonomy)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small synthetic corpus (fast to generate, fast to decompose)."""
+    config = GeneratorConfig(
+        num_users=60,
+        num_resources=150,
+        num_interest_groups=4,
+        concepts_per_group=5,
+        num_archetypes=6,
+        mean_posts_per_user=12.0,
+        max_tags_per_post=3,
+        seed=13,
+    )
+    vocabulary = build_default_vocabulary(domains=("academic",))
+    return FolksonomyGenerator(config, vocabulary).generate(name="small")
+
+
+@pytest.fixture(scope="session")
+def small_cleaned(small_dataset):
+    cleaned, _report = clean_folksonomy(
+        small_dataset.folksonomy, CleaningConfig(min_assignments=3)
+    )
+    return cleaned
+
+
+@pytest.fixture(scope="session")
+def small_workload(small_dataset, small_cleaned):
+    return build_query_workload(
+        small_dataset, num_queries=16, seed=5, folksonomy=small_cleaned
+    )
+
+
+@pytest.fixture(scope="session")
+def small_lexicon(small_dataset, small_cleaned):
+    return build_lexicon(small_dataset, folksonomy=small_cleaned)
+
+
+@pytest.fixture(scope="session")
+def bibsonomy_corpus():
+    """A scaled-down Bibsonomy-profile corpus used by integration tests."""
+    dataset = generate_profile_dataset(BIBSONOMY_PROFILE, scale=0.4, seed=3)
+    cleaned, _ = clean_folksonomy(
+        dataset.folksonomy, CleaningConfig(min_assignments=3)
+    )
+    return dataset, cleaned
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

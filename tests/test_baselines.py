@@ -1,0 +1,262 @@
+"""Tests for the five baseline rankers, the CubeLSI ranker and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BowRanker,
+    CubeLSIRanker,
+    CubeSimRanker,
+    FolkRankRanker,
+    FreqRanker,
+    LsiRanker,
+    build_all_rankers,
+    build_ranker,
+    default_ranker_names,
+    personalized_pagerank,
+)
+from repro.baselines.pagerank import row_stochastic, vector_from_mapping
+from repro.tagging.folksonomy import Folksonomy
+from repro.utils.errors import ConfigurationError, DimensionError, NotFittedError
+
+import scipy.sparse as sp
+
+
+@pytest.fixture()
+def mini_folksonomy():
+    records = [
+        ("u1", "music", "r1"),
+        ("u2", "audio", "r1"),
+        ("u3", "music", "r1"),
+        ("u1", "music", "r2"),
+        ("u2", "audio", "r2"),
+        ("u1", "travel", "r3"),
+        ("u3", "vacation", "r3"),
+        ("u2", "travel", "r4"),
+        ("u3", "travel", "r4"),
+        ("u1", "audio", "r5"),
+        ("u2", "music", "r5"),
+    ]
+    return Folksonomy(records, name="mini")
+
+
+ALL_RANKERS = [
+    ("freq", FreqRanker),
+    ("bow", BowRanker),
+    ("lsi", LsiRanker),
+    ("cubesim", CubeSimRanker),
+    ("folkrank", FolkRankRanker),
+    ("cubelsi", CubeLSIRanker),
+]
+
+
+class TestRankerInterface:
+    @pytest.mark.parametrize("name,cls", ALL_RANKERS)
+    def test_fit_and_rank_contract(self, mini_folksonomy, name, cls):
+        if cls in (LsiRanker, CubeLSIRanker, CubeSimRanker):
+            ranker = cls(num_concepts=3, seed=0)
+        else:
+            ranker = cls()
+        assert not ranker.is_fitted
+        ranker.fit(mini_folksonomy)
+        assert ranker.is_fitted
+        ranked = ranker.rank(["music"], top_k=3)
+        assert len(ranked) <= 3
+        scores = [score for _, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+        assert all(resource in mini_folksonomy.resources for resource, _ in ranked)
+        assert ranker.timings.fit_seconds >= 0.0
+        assert ranker.timings.queries_processed == 1
+
+    @pytest.mark.parametrize("name,cls", ALL_RANKERS)
+    def test_rank_before_fit_raises(self, name, cls):
+        ranker = cls()
+        with pytest.raises(NotFittedError):
+            ranker.rank(["music"])
+
+    @pytest.mark.parametrize("name,cls", ALL_RANKERS)
+    def test_unknown_query_tag_returns_empty_or_partial(self, mini_folksonomy, name, cls):
+        if cls in (LsiRanker, CubeLSIRanker, CubeSimRanker):
+            ranker = cls(num_concepts=3, seed=0)
+        else:
+            ranker = cls()
+        ranker.fit(mini_folksonomy)
+        assert ranker.rank(["completely-unknown-tag"]) == []
+
+
+class TestFreq:
+    def test_scores_match_definition(self, mini_folksonomy):
+        ranker = FreqRanker().fit(mini_folksonomy)
+        scores = dict(ranker.rank(["music"]))
+        # r1 has votes music:2, audio:1 -> 2/3
+        assert scores["r1"] == pytest.approx(2 / 3)
+        # r2 has votes music:1, audio:1 -> 1/2
+        assert scores["r2"] == pytest.approx(1 / 2)
+        assert "r3" not in scores
+
+    def test_multi_tag_query(self, mini_folksonomy):
+        ranker = FreqRanker().fit(mini_folksonomy)
+        scores = dict(ranker.rank(["music", "audio"]))
+        assert scores["r1"] == pytest.approx(1.0)
+
+
+class TestBow:
+    def test_exact_tag_match_only(self, mini_folksonomy):
+        ranker = BowRanker().fit(mini_folksonomy)
+        resources = ranker.ranked_resources(["vacation"])
+        assert resources == ["r3"]
+
+
+class TestLsi:
+    def test_latent_space_relates_cooccurring_tags(self, mini_folksonomy):
+        ranker = LsiRanker(rank=2, num_concepts=2, seed=0).fit(mini_folksonomy)
+        distances = ranker.tag_distances
+        tags = list(mini_folksonomy.tags)
+        music_audio = distances[tags.index("music"), tags.index("audio")]
+        music_travel = distances[tags.index("music"), tags.index("travel")]
+        assert music_audio < music_travel
+        assert ranker.concept_model.num_concepts == 2
+
+    def test_properties_before_fit_raise(self):
+        ranker = LsiRanker()
+        with pytest.raises(RuntimeError):
+            _ = ranker.tag_distances
+        with pytest.raises(RuntimeError):
+            _ = ranker.concept_model
+
+
+class TestCubeSim:
+    def test_distances_match_raw_slices(self, mini_folksonomy):
+        ranker = CubeSimRanker(num_concepts=2, seed=0).fit(mini_folksonomy)
+        from repro.core.distances import raw_slice_distances
+
+        expected = raw_slice_distances(mini_folksonomy.to_tensor())
+        assert np.allclose(ranker.tag_distances, expected)
+
+
+class TestPageRank:
+    def test_row_stochastic_rows_sum_to_one(self):
+        adjacency = sp.csr_matrix(np.array([[0, 2.0], [1.0, 0]]))
+        transition = row_stochastic(adjacency)
+        assert np.allclose(np.asarray(transition.sum(axis=1)).ravel(), 1.0)
+
+    def test_row_stochastic_rejects_negative_weights(self):
+        with pytest.raises(ConfigurationError):
+            row_stochastic(sp.csr_matrix(np.array([[0, -1.0], [1.0, 0]])))
+
+    def test_row_stochastic_requires_square(self):
+        with pytest.raises(DimensionError):
+            row_stochastic(sp.csr_matrix(np.zeros((2, 3))))
+
+    def test_pagerank_sums_to_one_and_converges(self):
+        adjacency = sp.csr_matrix(
+            np.array([[0, 1, 1], [1, 0, 0], [1, 0, 0]], dtype=float)
+        )
+        weights, iterations = personalized_pagerank(
+            adjacency, np.ones(3), damping=0.85, tol=1e-8, max_iter=500
+        )
+        assert weights.sum() == pytest.approx(1.0)
+        assert iterations < 500
+        # the hub node is the most central
+        assert weights[0] == max(weights)
+
+    def test_pagerank_preference_biases_result(self):
+        adjacency = sp.csr_matrix(
+            np.array([[0, 1, 0], [1, 0, 1], [0, 1, 0]], dtype=float)
+        )
+        preference = np.array([10.0, 1.0, 1.0])
+        biased, _ = personalized_pagerank(adjacency, preference, damping=0.5)
+        uniform, _ = personalized_pagerank(adjacency, np.ones(3), damping=0.5)
+        assert biased[0] > uniform[0]
+
+    def test_pagerank_handles_dangling_nodes(self):
+        adjacency = sp.csr_matrix(np.array([[0, 1.0], [0, 0]]))
+        weights, _ = personalized_pagerank(adjacency, np.ones(2))
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_pagerank_invalid_inputs(self):
+        adjacency = sp.csr_matrix(np.eye(2))
+        with pytest.raises(ConfigurationError):
+            personalized_pagerank(adjacency, np.ones(2), damping=1.5)
+        with pytest.raises(DimensionError):
+            personalized_pagerank(adjacency, np.ones(3))
+        with pytest.raises(ConfigurationError):
+            personalized_pagerank(adjacency, np.array([-1.0, 1.0]))
+
+    def test_zero_preference_falls_back_to_uniform(self):
+        adjacency = sp.csr_matrix(np.ones((3, 3)) - np.eye(3))
+        weights, _ = personalized_pagerank(adjacency, np.zeros(3))
+        assert np.allclose(weights, 1 / 3, atol=1e-6)
+
+    def test_vector_from_mapping(self):
+        vector = vector_from_mapping({"a": 2.0}, {"a": 0, "b": 1}, 2, default=0.5)
+        assert np.allclose(vector, [2.0, 0.5])
+
+
+class TestFolkRank:
+    def test_graph_construction(self, mini_folksonomy):
+        ranker = FolkRankRanker().fit(mini_folksonomy)
+        expected_nodes = (
+            mini_folksonomy.num_users
+            + mini_folksonomy.num_tags
+            + mini_folksonomy.num_resources
+        )
+        assert ranker.num_nodes == expected_nodes
+        assert ranker.num_edges > 0
+
+    def test_query_tag_boost_ranks_matching_resources_first(self, mini_folksonomy):
+        ranker = FolkRankRanker().fit(mini_folksonomy)
+        ranked = ranker.ranked_resources(["travel"], top_k=2)
+        assert set(ranked) <= {"r3", "r4"}
+
+    def test_invalid_boost(self):
+        with pytest.raises(ConfigurationError):
+            FolkRankRanker(query_boost=0.0)
+
+
+class TestCubeLSIRanker:
+    def test_offline_index_and_distances_exposed(self, mini_folksonomy):
+        ranker = CubeLSIRanker(ranks=(3, 4, 4), num_concepts=2, seed=0).fit(
+            mini_folksonomy
+        )
+        assert ranker.tag_distances.shape == (4, 4)
+        assert ranker.concept_model.num_concepts == 2
+        assert ranker.offline_index.preprocessing_seconds() >= 0.0
+        assert ranker.timings.breakdown  # pipeline timings recorded
+
+    def test_properties_before_fit_raise(self):
+        ranker = CubeLSIRanker()
+        with pytest.raises(RuntimeError):
+            _ = ranker.offline_index
+
+
+class TestRegistry:
+    def test_default_names_cover_all_six_methods(self):
+        assert set(default_ranker_names()) == {
+            "cubelsi",
+            "cubesim",
+            "folkrank",
+            "freq",
+            "lsi",
+            "bow",
+        }
+
+    def test_build_all_rankers(self):
+        rankers = build_all_rankers(num_concepts=5, seed=0)
+        assert set(rankers) == set(default_ranker_names())
+        assert isinstance(rankers["folkrank"], FolkRankRanker)
+
+    def test_build_ranker_is_case_insensitive(self):
+        assert isinstance(build_ranker("CubeLSI"), CubeLSIRanker)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            build_ranker("pagerank")
+
+    def test_scalar_and_tuple_ratios_accepted(self):
+        build_ranker("cubelsi", reduction_ratios=50.0)
+        build_ranker("lsi", reduction_ratios=(25.0, 3.0, 40.0))
+        with pytest.raises(ConfigurationError):
+            build_ranker("lsi", reduction_ratios=(1.0, 2.0))

@@ -1,0 +1,313 @@
+"""Tests for the CubeLSI core: clustering, concepts, CubeLSI and the pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.concepts import (
+    Concept,
+    ConceptModel,
+    distill_concepts,
+    identity_concept_model,
+)
+from repro.core.cubelsi import CubeLSI
+from repro.core.kmeans import KMeans
+from repro.core.pipeline import CubeLSIPipeline
+from repro.core.spectral import (
+    SpectralClustering,
+    affinity_from_distances,
+    choose_num_clusters,
+    normalized_laplacian,
+)
+from repro.utils.errors import ConfigurationError, DimensionError, NotFittedError
+
+
+def blob_points(rng, centers, per_cluster=10, spread=0.05):
+    points = []
+    labels = []
+    for index, center in enumerate(centers):
+        cluster = center + spread * rng.standard_normal((per_cluster, len(center)))
+        points.append(cluster)
+        labels.extend([index] * per_cluster)
+    return np.vstack(points), np.array(labels)
+
+
+def pairwise_euclidean(points):
+    diff = points[:, None, :] - points[None, :, :]
+    return np.sqrt((diff**2).sum(axis=-1))
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self, rng):
+        points, truth = blob_points(rng, [np.zeros(2), np.full(2, 10.0), np.array([0.0, 10.0])])
+        result = KMeans(num_clusters=3, seed=0).fit(points)
+        # clusters must be a permutation of the ground truth partition
+        for cluster in range(3):
+            members = truth[result.labels == cluster]
+            assert len(set(members)) == 1
+        assert result.inertia < 5.0
+
+    def test_k_greater_than_points_is_clamped(self, rng):
+        points = rng.standard_normal((3, 2))
+        result = KMeans(num_clusters=10, seed=0).fit(points)
+        assert result.num_clusters == 3
+
+    def test_identical_points(self):
+        points = np.ones((5, 2))
+        result = KMeans(num_clusters=2, seed=0).fit(points)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_deterministic_given_seed(self, rng):
+        points = rng.standard_normal((30, 3))
+        a = KMeans(num_clusters=4, seed=1).fit(points)
+        b = KMeans(num_clusters=4, seed=1).fit(points)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            KMeans(num_clusters=0)
+        with pytest.raises(ConfigurationError):
+            KMeans(num_clusters=2, max_iter=0)
+        with pytest.raises(ConfigurationError):
+            KMeans(num_clusters=2, num_init=0)
+
+    def test_empty_and_wrong_shape_input(self):
+        with pytest.raises(DimensionError):
+            KMeans(num_clusters=2).fit(np.zeros((0, 2)))
+        with pytest.raises(DimensionError):
+            KMeans(num_clusters=2).fit(np.zeros(5))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_property_labels_within_range(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.standard_normal((20, 2))
+        result = KMeans(num_clusters=4, seed=seed).fit(points)
+        assert result.labels.shape == (20,)
+        assert set(result.labels) <= set(range(4))
+
+
+class TestSpectral:
+    def test_affinity_matrix_properties(self, rng):
+        distances = pairwise_euclidean(rng.standard_normal((8, 2)))
+        affinity = affinity_from_distances(distances, sigma=1.0)
+        assert np.allclose(np.diag(affinity), 0.0)
+        assert np.all(affinity >= 0.0) and np.all(affinity <= 1.0)
+        assert np.allclose(affinity, affinity.T)
+
+    def test_affinity_invalid_sigma(self):
+        with pytest.raises(ConfigurationError):
+            affinity_from_distances(np.zeros((2, 2)), sigma=0.0)
+
+    def test_normalized_laplacian_eigenvalues_bounded(self, rng):
+        distances = pairwise_euclidean(rng.standard_normal((10, 2)))
+        laplacian = normalized_laplacian(affinity_from_distances(distances))
+        eigenvalues = np.linalg.eigvalsh(laplacian)
+        assert eigenvalues.max() <= 1.0 + 1e-8
+
+    def test_normalized_laplacian_handles_isolated_nodes(self):
+        affinity = np.zeros((3, 3))
+        laplacian = normalized_laplacian(affinity)
+        assert np.allclose(laplacian, 0.0)
+
+    def test_choose_num_clusters_coverage(self):
+        eigenvalues = np.array([10.0, 5.0, 1.0, 0.1, 0.05])
+        assert choose_num_clusters(eigenvalues, variance_target=0.9) == 2
+        assert choose_num_clusters(eigenvalues, variance_target=1.0) == 5
+        assert choose_num_clusters(eigenvalues, variance_target=0.9, max_clusters=1) == 1
+
+    def test_choose_num_clusters_invalid_target(self):
+        with pytest.raises(ConfigurationError):
+            choose_num_clusters(np.array([1.0]), variance_target=0.0)
+
+    def test_recovers_separated_clusters(self, rng):
+        points, truth = blob_points(rng, [np.zeros(2), np.full(2, 8.0)])
+        distances = pairwise_euclidean(points)
+        result = SpectralClustering(num_clusters=2, sigma=2.0, seed=0).fit(distances)
+        for cluster in range(2):
+            members = truth[result.labels == cluster]
+            assert len(set(members)) == 1
+
+    def test_auto_cluster_count(self, rng):
+        points, _ = blob_points(rng, [np.zeros(2), np.full(2, 8.0), np.array([8.0, 0.0])])
+        distances = pairwise_euclidean(points)
+        result = SpectralClustering(num_clusters=None, sigma=2.0, seed=0).fit(distances)
+        assert 1 <= result.num_clusters <= distances.shape[0]
+        assert len(result.clusters()) == result.num_clusters
+
+    def test_paper_running_example_clusters(self, toy_cubelsi_result, toy_folksonomy):
+        """Section V worked example: {folk, people} vs {laptop}."""
+        model = distill_concepts(
+            toy_cubelsi_result.distances,
+            tags=toy_folksonomy.tags,
+            num_concepts=2,
+            sigma=1.0,
+            seed=0,
+        )
+        clusters = {frozenset(c) for c in model.as_clusters()}
+        assert frozenset({"t1", "t2"}) in clusters
+        assert frozenset({"t3"}) in clusters
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            SpectralClustering(num_clusters=0)
+        with pytest.raises(DimensionError):
+            SpectralClustering(num_clusters=2).fit(np.zeros((2, 3)))
+
+
+class TestConceptModel:
+    def test_concept_requires_tags(self):
+        with pytest.raises(ConfigurationError):
+            Concept(concept_id=0, tags=())
+
+    def test_concept_label(self):
+        concept = Concept(concept_id=0, tags=("a", "b", "c", "d"))
+        assert concept.label(max_tags=2) == "[a, b, ...]"
+
+    def test_concept_bag_sums_counts(self):
+        model = ConceptModel(
+            concepts=[Concept(0, ("music", "audio")), Concept(1, ("travel",))],
+            tag_to_concept={"music": 0, "audio": 0, "travel": 1},
+        )
+        bag = model.concept_bag({"music": 2, "audio": 1, "travel": 4, "unknown": 9})
+        assert bag == {0: 3.0, 1: 4.0}
+
+    def test_unknown_policy_own_concept(self):
+        model = ConceptModel(
+            concepts=[Concept(0, ("music",))],
+            tag_to_concept={"music": 0},
+            unknown_policy="own-concept",
+        )
+        bag = model.concept_bag_from_tags(["music", "mystery", "mystery"])
+        assert bag[0] == 1.0
+        dynamic_id = model.concept_of("mystery")
+        assert bag[dynamic_id] == 2.0
+        assert model.members(dynamic_id) == ("mystery",)
+
+    def test_invalid_policy_and_mapping(self):
+        with pytest.raises(ConfigurationError):
+            ConceptModel(concepts=[], tag_to_concept={}, unknown_policy="nope")
+        with pytest.raises(DimensionError):
+            ConceptModel(
+                concepts=[Concept(0, ("a",))], tag_to_concept={"a": 5}
+            )
+
+    def test_members_unknown_id_raises(self):
+        model = identity_concept_model(["a"])
+        with pytest.raises(KeyError):
+            model.members(10)
+
+    def test_identity_concept_model(self):
+        model = identity_concept_model(["a", "b"])
+        assert model.num_concepts == 2
+        assert model.concept_of("a") != model.concept_of("b")
+        assert model.concept_of("zzz") is None
+        with pytest.raises(ConfigurationError):
+            identity_concept_model(["a", "a"])
+
+    def test_distill_concepts_validation(self):
+        with pytest.raises(DimensionError):
+            distill_concepts(np.zeros((3, 2)), ["a", "b", "c"])
+        with pytest.raises(DimensionError):
+            distill_concepts(np.zeros((3, 3)), ["a", "b"])
+        with pytest.raises(ConfigurationError):
+            distill_concepts(np.zeros((2, 2)), ["a", "a"])
+
+    def test_distill_concepts_partitions_all_tags(self, toy_cubelsi_result, toy_folksonomy):
+        model = distill_concepts(
+            toy_cubelsi_result.distances, toy_folksonomy.tags, num_concepts=2, seed=0
+        )
+        assigned = [tag for cluster in model.as_clusters() for tag in cluster]
+        assert sorted(assigned) == sorted(toy_folksonomy.tags)
+        assert sum(model.cluster_sizes()) == len(toy_folksonomy.tags)
+
+
+class TestCubeLSI:
+    def test_fit_on_folksonomy_keeps_tag_labels(self, toy_folksonomy):
+        result = CubeLSI(ranks=(3, 3, 2), seed=0).fit(toy_folksonomy)
+        assert result.tags == toy_folksonomy.tags
+        assert result.distance("t1", "t2") == result.distances[0, 1]
+        assert result.distance(0, 1) == result.distances[0, 1]
+
+    def test_fit_on_raw_tensor_has_no_labels(self, toy_tensor):
+        result = CubeLSI(ranks=(3, 3, 2), seed=0).fit(toy_tensor)
+        assert result.tags is None
+        with pytest.raises(ConfigurationError):
+            result.distance("t1", "t2")
+
+    def test_nearest_tags(self, toy_folksonomy):
+        result = CubeLSI(ranks=(3, 3, 2), seed=0).fit(toy_folksonomy)
+        nearest = result.nearest_tags("t1", k=1)
+        assert nearest[0][0] == "t2"
+
+    def test_reduction_ratio_default_and_min_rank(self, small_cleaned):
+        model = CubeLSI(min_rank=4)  # paper default ratio 50 on a tiny corpus
+        result = model.fit(small_cleaned)
+        assert all(r >= 1 for r in result.ranks)
+        assert result.ranks[1] <= small_cleaned.num_tags
+
+    def test_conflicting_parameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            CubeLSI(ranks=(2, 2, 2), reduction_ratios=10.0)
+        with pytest.raises(ConfigurationError):
+            CubeLSI(reduction_ratios=(10.0, 10.0))
+
+    def test_requires_order_three(self, rng):
+        with pytest.raises(DimensionError):
+            CubeLSI(ranks=(2, 2, 2)).fit(rng.standard_normal((4, 4)))
+
+    def test_last_result_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            CubeLSI(ranks=(2, 2, 2)).last_result
+
+    def test_memory_report_shapes(self, toy_folksonomy):
+        result = CubeLSI(ranks=(3, 3, 2), seed=0).fit(toy_folksonomy)
+        report = result.memory_report()
+        assert report["dense_reconstruction_values"] == 27
+        assert report["core_plus_tag_factor_values"] < report["dense_reconstruction_values"] * 10
+        assert report["dense_reconstruction_bytes"] == 27 * 8
+
+    def test_similarity_matrix(self, toy_folksonomy):
+        result = CubeLSI(ranks=(3, 3, 2), seed=0).fit(toy_folksonomy)
+        affinity = result.similarity_matrix(sigma=1.0)
+        assert np.allclose(np.diag(affinity), 0.0)
+        assert affinity[0, 1] > affinity[0, 2]
+        with pytest.raises(ConfigurationError):
+            result.similarity_matrix(sigma=0.0)
+
+    def test_timings_recorded(self, toy_folksonomy):
+        result = CubeLSI(ranks=(3, 3, 2), seed=0).fit(toy_folksonomy)
+        assert set(result.timings) == {"tucker_als", "tag_distances"}
+        assert all(value >= 0.0 for value in result.timings.values())
+
+
+class TestPipeline:
+    def test_pipeline_produces_searchable_index(self, small_cleaned):
+        pipeline = CubeLSIPipeline(
+            reduction_ratios=(10.0, 3.0, 10.0), num_concepts=15, seed=0, min_rank=4
+        )
+        index = pipeline.fit(small_cleaned)
+        assert index.num_concepts <= 15
+        assert index.preprocessing_seconds() > 0.0
+        query_tag = small_cleaned.tags[0]
+        results = index.engine.search([query_tag], top_k=5)
+        assert len(results) <= 5
+        assert all(r.score >= 0 for r in results)
+        assert pipeline.last_index is index
+
+    def test_pipeline_rejects_empty_folksonomy(self):
+        from repro.tagging.folksonomy import Folksonomy
+
+        with pytest.raises(ConfigurationError):
+            CubeLSIPipeline().fit(Folksonomy([]))
+
+    def test_pipeline_invalid_num_concepts(self):
+        with pytest.raises(ConfigurationError):
+            CubeLSIPipeline(num_concepts=0)
+
+    def test_last_index_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            CubeLSIPipeline().last_index

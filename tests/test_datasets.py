@@ -1,0 +1,301 @@
+"""Tests for the synthetic dataset generator, profiles, queries and vocabulary."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.generator import (
+    PERSONAL_TAGS,
+    FolksonomyGenerator,
+    GeneratorConfig,
+)
+from repro.datasets.profiles import (
+    BIBSONOMY_PROFILE,
+    DELICIOUS_PROFILE,
+    LASTFM_PROFILE,
+    PROFILES,
+    generate_all_profiles,
+    generate_profile_dataset,
+    scaled_profile,
+)
+from repro.datasets.queries import (
+    IRRELEVANT,
+    PARTIALLY_RELEVANT,
+    RELEVANT,
+    Query,
+    build_query_workload,
+)
+from repro.datasets.toy import running_example_folksonomy, running_example_records
+from repro.datasets.vocabulary import (
+    TagKind,
+    Vocabulary,
+    build_default_vocabulary,
+    expand_vocabulary,
+)
+from repro.utils.errors import ConfigurationError
+
+
+class TestVocabulary:
+    def test_default_vocabulary_has_three_domains(self):
+        vocabulary = build_default_vocabulary()
+        assert set(vocabulary.domains()) == {"web", "academic", "music"}
+        assert len(vocabulary) > 40
+
+    def test_domain_restriction(self):
+        vocabulary = build_default_vocabulary(domains=("music",))
+        assert vocabulary.domains() == ("music",)
+        assert all(c.domain == "music" for c in vocabulary.concepts)
+
+    def test_every_concept_has_a_canonical_tag(self):
+        vocabulary = build_default_vocabulary()
+        for concept in vocabulary.concepts:
+            assert concept.canonical_tag in concept.tags
+
+    def test_tag_kinds_cover_table_iv_types(self):
+        vocabulary = build_default_vocabulary()
+        kinds = set()
+        for concept in vocabulary.concepts:
+            kinds.update(concept.tags.values())
+        assert {
+            TagKind.CANONICAL,
+            TagKind.SYNONYM,
+            TagKind.COGNATE,
+            TagKind.MORPHOLOGICAL,
+            TagKind.ABBREVIATION,
+        } <= kinds
+
+    def test_polysemous_tags_map_to_multiple_concepts(self):
+        vocabulary = build_default_vocabulary()
+        mapping = vocabulary.tag_to_concepts()
+        assert len(mapping["apple"]) >= 2
+        assert len(mapping["folk"]) >= 2
+
+    def test_concept_lookup(self):
+        vocabulary = build_default_vocabulary()
+        assert vocabulary.concept("rock_music").domain == "music"
+        with pytest.raises(KeyError):
+            vocabulary.concept("missing")
+
+    def test_expand_vocabulary_adds_concepts(self):
+        vocabulary = build_default_vocabulary(domains=("music",))
+        expanded = expand_vocabulary(vocabulary, 10, seed=0)
+        assert len(expanded) == len(vocabulary) + 10
+        # expansion preserves the original concepts
+        assert set(vocabulary.concept_names()) <= set(expanded.concept_names())
+
+    def test_expand_vocabulary_invalid_args(self):
+        vocabulary = build_default_vocabulary(domains=("music",))
+        with pytest.raises(ConfigurationError):
+            expand_vocabulary(vocabulary, -1)
+        with pytest.raises(ConfigurationError):
+            expand_vocabulary(vocabulary, 1, tags_per_concept=0)
+
+    def test_duplicate_concept_names_rejected(self):
+        concept = build_default_vocabulary().concepts[0]
+        with pytest.raises(ConfigurationError):
+            Vocabulary(concepts=[concept, concept])
+
+
+class TestGeneratorConfig:
+    def test_defaults_are_valid(self):
+        GeneratorConfig()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_users", 0),
+            ("num_resources", 0),
+            ("num_interest_groups", 0),
+            ("max_tags_per_post", 0),
+            ("num_archetypes", 0),
+            ("mean_posts_per_user", 0.0),
+            ("group_vocabulary_bias", 1.5),
+            ("noise_rate", -0.1),
+            ("personal_tag_rate", 2.0),
+        ],
+    )
+    def test_invalid_values_raise(self, field, value):
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(**{field: value})
+
+
+class TestGenerator:
+    def test_generation_is_deterministic_given_seed(self):
+        config = GeneratorConfig(num_users=30, num_resources=60, seed=5)
+        a = FolksonomyGenerator(config).generate()
+        b = FolksonomyGenerator(config).generate()
+        assert a.folksonomy.assignments == b.folksonomy.assignments
+
+    def test_different_seeds_differ(self):
+        a = FolksonomyGenerator(GeneratorConfig(num_users=30, num_resources=60, seed=1)).generate()
+        b = FolksonomyGenerator(GeneratorConfig(num_users=30, num_resources=60, seed=2)).generate()
+        assert a.folksonomy.assignments != b.folksonomy.assignments
+
+    def test_ground_truth_is_consistent(self, small_dataset):
+        truth = small_dataset.ground_truth
+        folksonomy = small_dataset.folksonomy
+        # every user has a group, every group has concepts
+        assert set(folksonomy.users) <= set(truth.user_groups)
+        for group in truth.user_groups.values():
+            assert truth.group_concepts[group]
+        # resource mixtures are normalised
+        for mixture in truth.resource_concepts.values():
+            assert sum(mixture.values()) == pytest.approx(1.0)
+        # every non-noise tag of the corpus is either a concept surface form,
+        # a personal tag or a system/gibberish noise tag
+        concept_tags = set(truth.tag_concepts)
+        for tag in folksonomy.tags:
+            assert (
+                tag in concept_tags
+                or tag in PERSONAL_TAGS
+                or tag.startswith("zzx")
+                or tag.startswith("system:")
+            )
+
+    def test_clean_generation_has_no_system_tags(self):
+        config = GeneratorConfig(num_users=30, num_resources=60, seed=5)
+        dataset = FolksonomyGenerator(config).generate(include_noise_tags=False)
+        assert not any(t.startswith("system:") for t in dataset.folksonomy.tags)
+        assert not any(t.startswith("zzx") for t in dataset.folksonomy.tags)
+
+    def test_ground_truth_helpers(self, small_dataset):
+        truth = small_dataset.ground_truth
+        concept = truth.vocabulary.concepts[0].name
+        tags = truth.tags_of_concept(concept)
+        assert tags
+        for tag in tags:
+            assert concept in truth.concepts_of_tag(tag)
+        resources = truth.resources_about(concept, min_weight=0.0)
+        for resource in resources:
+            assert truth.concept_weight(resource, concept) > 0.0
+
+    def test_empty_vocabulary_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FolksonomyGenerator(GeneratorConfig(), Vocabulary(concepts=[]))
+
+    def test_tag_usage_is_skewed_not_uniform(self, small_dataset):
+        from repro.tagging.stats import gini_coefficient, tag_frequency_distribution
+
+        distribution = tag_frequency_distribution(small_dataset.folksonomy)
+        assert gini_coefficient(distribution) > 0.2
+
+
+class TestProfiles:
+    def test_three_profiles_registered(self):
+        assert set(PROFILES) == {"delicious", "bibsonomy", "lastfm"}
+
+    def test_profiles_use_distinct_domains(self):
+        assert DELICIOUS_PROFILE.domains == ("web",)
+        assert BIBSONOMY_PROFILE.domains == ("academic",)
+        assert LASTFM_PROFILE.domains == ("music",)
+
+    def test_profile_scaling(self):
+        small = LASTFM_PROFILE.config(scale=0.5, seed=1)
+        full = LASTFM_PROFILE.config(scale=1.0, seed=1)
+        assert small.num_users < full.num_users
+        assert small.num_resources < full.num_resources
+
+    def test_invalid_scale_raises(self):
+        with pytest.raises(ConfigurationError):
+            LASTFM_PROFILE.config(scale=0.0)
+
+    def test_generate_profile_dataset_shape_relationships(self):
+        dataset = generate_profile_dataset(BIBSONOMY_PROFILE, scale=0.3, seed=2)
+        stats = dataset.folksonomy
+        # Bibsonomy profile: more resources than users (as in Table II).
+        assert stats.num_resources > stats.num_users
+
+    def test_generate_all_profiles_subset(self):
+        datasets = generate_all_profiles(scale=0.2, seed=3, names=["lastfm"])
+        assert set(datasets) == {"lastfm"}
+
+    def test_generate_all_profiles_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            generate_all_profiles(names=["flickr"])
+
+    def test_scaled_profile_override(self):
+        modified = scaled_profile(LASTFM_PROFILE, base_users=10)
+        assert modified.base_users == 10
+        assert modified.name == LASTFM_PROFILE.name
+
+
+class TestQueries:
+    def test_query_requires_tags(self):
+        with pytest.raises(ConfigurationError):
+            Query(query_id="q", tags=(), concepts=("c",))
+
+    def test_workload_size_and_determinism(self, small_dataset, small_cleaned):
+        a = build_query_workload(small_dataset, num_queries=10, seed=3, folksonomy=small_cleaned)
+        b = build_query_workload(small_dataset, num_queries=10, seed=3, folksonomy=small_cleaned)
+        assert len(a) == 10
+        assert [q.tags for q in a] == [q.tags for q in b]
+
+    def test_query_tags_come_from_the_searched_corpus(self, small_dataset, small_cleaned):
+        workload = build_query_workload(
+            small_dataset, num_queries=12, seed=4, folksonomy=small_cleaned
+        )
+        known = set(small_cleaned.tags)
+        for query in workload:
+            assert set(query.tags) <= known
+
+    def test_judgments_are_graded_and_restricted(self, small_dataset, small_cleaned):
+        workload = build_query_workload(
+            small_dataset, num_queries=12, seed=4, folksonomy=small_cleaned
+        )
+        resources = set(small_cleaned.resources)
+        for query in workload:
+            judgments = workload.judgments_for(query)
+            for resource, grade in judgments.grades.items():
+                assert resource in resources
+                assert grade in (PARTIALLY_RELEVANT, RELEVANT)
+            assert judgments.grade("not-a-resource") == IRRELEVANT
+
+    def test_relevance_follows_ground_truth_weights(self, small_dataset, small_cleaned):
+        workload = build_query_workload(
+            small_dataset,
+            num_queries=12,
+            seed=4,
+            folksonomy=small_cleaned,
+            strong_threshold=0.5,
+            weak_threshold=0.2,
+        )
+        truth = small_dataset.ground_truth
+        for query in workload:
+            judgments = workload.judgments_for(query)
+            for resource, grade in judgments.grades.items():
+                weight = sum(
+                    truth.concept_weight(resource, c) for c in query.concepts
+                )
+                if grade == RELEVANT:
+                    assert weight >= 0.5
+                else:
+                    assert 0.2 <= weight < 0.5
+
+    def test_invalid_parameters_raise(self, small_dataset):
+        with pytest.raises(ConfigurationError):
+            build_query_workload(small_dataset, num_queries=0)
+        with pytest.raises(ConfigurationError):
+            build_query_workload(small_dataset, strong_threshold=0.1, weak_threshold=0.5)
+
+    def test_queries_with_judged_resources_filter(self, small_workload):
+        useful = small_workload.queries_with_judged_resources()
+        assert all(
+            small_workload.judgments[q.query_id].ideal_gains() for q in useful
+        )
+
+    def test_ideal_gains_sorted(self, small_workload):
+        for query in small_workload:
+            gains = small_workload.judgments_for(query).ideal_gains()
+            assert gains == sorted(gains, reverse=True)
+
+
+class TestToy:
+    def test_running_example_records(self):
+        records = running_example_records()
+        assert len(records) == 7
+        assert records[0] == ("u1", "t1", "r1")
+
+    def test_running_example_with_labels(self):
+        folksonomy = running_example_folksonomy(use_labels=True)
+        assert set(folksonomy.tags) == {"folk", "people", "laptop"}

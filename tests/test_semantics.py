@@ -1,0 +1,181 @@
+"""Tests for the taxonomy, JCN distance and tag-distance accuracy metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.vocabulary import build_default_vocabulary
+from repro.semantics.evaluation import evaluate_tag_distances, nominate_most_similar
+from repro.semantics.jcn import JcnDistance
+from repro.semantics.lexicon import build_lexicon
+from repro.semantics.taxonomy import Taxonomy, build_taxonomy_from_vocabulary
+from repro.utils.errors import ConfigurationError, DimensionError
+
+
+@pytest.fixture(scope="module")
+def small_taxonomy():
+    taxonomy = Taxonomy()
+    taxonomy.add_node("entity", parent=None)
+    taxonomy.add_node("music", parent="entity")
+    taxonomy.add_node("technology", parent="entity")
+    taxonomy.add_node("jazz_concept", parent="music")
+    taxonomy.add_node("rock_concept", parent="music")
+    taxonomy.add_node("laptop_concept", parent="technology")
+    taxonomy.add_tag_leaf("jazz", parent="jazz_concept")
+    taxonomy.add_tag_leaf("bebop", parent="jazz_concept")
+    taxonomy.add_tag_leaf("rock", parent="rock_concept")
+    taxonomy.add_tag_leaf("laptop", parent="laptop_concept")
+    taxonomy.set_corpus_counts({"jazz": 10, "bebop": 3, "rock": 8, "laptop": 5})
+    return taxonomy
+
+
+class TestTaxonomy:
+    def test_structure(self, small_taxonomy):
+        assert small_taxonomy.root.name == "entity"
+        assert small_taxonomy.contains_tag("jazz")
+        assert not small_taxonomy.contains_tag("polka")
+        assert small_taxonomy.num_nodes == 1 + 2 + 3 + 4
+        assert set(small_taxonomy.covered_tags()) == {"jazz", "bebop", "rock", "laptop"}
+
+    def test_ancestors_and_lcs(self, small_taxonomy):
+        jazz_leaf = small_taxonomy.senses("jazz")[0]
+        bebop_leaf = small_taxonomy.senses("bebop")[0]
+        laptop_leaf = small_taxonomy.senses("laptop")[0]
+        lcs_close = small_taxonomy.lowest_common_subsumer(jazz_leaf, bebop_leaf)
+        lcs_far = small_taxonomy.lowest_common_subsumer(jazz_leaf, laptop_leaf)
+        assert small_taxonomy.node(lcs_close).name == "jazz_concept"
+        assert small_taxonomy.node(lcs_far).name == "entity"
+        path = small_taxonomy.ancestors(jazz_leaf)
+        assert path[-1] == small_taxonomy.root.node_id
+
+    def test_information_content_monotone_up_the_tree(self, small_taxonomy):
+        jazz_leaf = small_taxonomy.senses("jazz")[0]
+        concept = small_taxonomy.node_by_name("jazz_concept").node_id
+        root = small_taxonomy.root.node_id
+        ic_leaf = small_taxonomy.information_content(jazz_leaf)
+        ic_concept = small_taxonomy.information_content(concept)
+        ic_root = small_taxonomy.information_content(root)
+        assert ic_leaf >= ic_concept >= ic_root
+        assert ic_root == pytest.approx(0.0)
+
+    def test_counts_required_for_ic(self):
+        taxonomy = Taxonomy()
+        taxonomy.add_node("entity", parent=None)
+        with pytest.raises(ConfigurationError):
+            taxonomy.information_content(0)
+
+    def test_add_node_requires_known_parent(self):
+        taxonomy = Taxonomy()
+        taxonomy.add_node("entity", parent=None)
+        with pytest.raises(ConfigurationError):
+            taxonomy.add_node("x", parent="missing")
+
+    def test_build_from_vocabulary_covers_all_surface_tags(self):
+        vocabulary = build_default_vocabulary(domains=("music",))
+        taxonomy = build_taxonomy_from_vocabulary(vocabulary, tag_counts={})
+        for concept in vocabulary.concepts:
+            for tag in concept.surface_tags:
+                assert taxonomy.contains_tag(tag)
+
+    def test_polysemous_tags_have_multiple_senses(self):
+        vocabulary = build_default_vocabulary()
+        taxonomy = build_taxonomy_from_vocabulary(vocabulary, tag_counts={})
+        assert len(taxonomy.senses("folk")) >= 2
+
+
+class TestJcn:
+    def test_same_concept_closer_than_cross_domain(self, small_taxonomy):
+        jcn = JcnDistance(small_taxonomy)
+        assert jcn.distance("jazz", "bebop") < jcn.distance("jazz", "laptop")
+        assert jcn.distance("jazz", "rock") < jcn.distance("jazz", "laptop")
+
+    def test_distance_is_symmetric_and_zero_on_identity(self, small_taxonomy):
+        jcn = JcnDistance(small_taxonomy)
+        assert jcn.distance("jazz", "bebop") == pytest.approx(
+            jcn.distance("bebop", "jazz")
+        )
+        assert jcn.distance("jazz", "jazz") == 0.0
+
+    def test_unknown_tag_raises(self, small_taxonomy):
+        jcn = JcnDistance(small_taxonomy)
+        with pytest.raises(KeyError):
+            jcn.distance("jazz", "polka")
+
+    def test_most_similar_and_rank(self, small_taxonomy):
+        jcn = JcnDistance(small_taxonomy)
+        best, distance = jcn.most_similar("jazz", ["bebop", "rock", "laptop"])
+        assert best == "bebop"
+        assert distance == jcn.distance("jazz", "bebop")
+        assert jcn.rank_of("jazz", "bebop", ["bebop", "rock", "laptop"]) == 1
+        assert jcn.rank_of("jazz", "laptop", ["bebop", "rock", "laptop"]) == 3
+
+    def test_most_similar_with_no_candidates(self, small_taxonomy):
+        jcn = JcnDistance(small_taxonomy)
+        best, distance = jcn.most_similar("jazz", ["polka"])
+        assert best is None and distance == float("inf")
+
+    def test_requires_counts(self):
+        taxonomy = Taxonomy()
+        taxonomy.add_node("entity", parent=None)
+        with pytest.raises(ConfigurationError):
+            JcnDistance(taxonomy)
+
+
+class TestLexicon:
+    def test_build_lexicon_covers_concept_tags_only(self, small_dataset, small_cleaned, small_lexicon):
+        concept_tags = set(small_dataset.ground_truth.tag_concepts)
+        for tag in small_lexicon.covered_tags:
+            assert tag in concept_tags
+        coverage = small_lexicon.coverage_of(small_cleaned.tags)
+        assert 0.0 < coverage <= 1.0
+
+    def test_judgeable_tags_subset(self, small_cleaned, small_lexicon):
+        judgeable = small_lexicon.judgeable_tags(small_cleaned.tags)
+        assert set(judgeable) <= set(small_cleaned.tags)
+        assert all(tag in small_lexicon for tag in judgeable)
+
+    def test_coverage_of_empty_list(self, small_lexicon):
+        assert small_lexicon.coverage_of([]) == 0.0
+
+
+class TestEvaluation:
+    def test_nominate_most_similar(self):
+        tags = ["a", "b", "c"]
+        distances = np.array(
+            [[0.0, 1.0, 5.0], [1.0, 0.0, 2.0], [5.0, 2.0, 0.0]]
+        )
+        assert nominate_most_similar(distances, tags, "a") == "b"
+        assert nominate_most_similar(distances, tags, "c") == "b"
+        assert nominate_most_similar(distances, tags, "zzz") is None
+
+    def test_perfect_distances_get_better_scores_than_random(self, small_cleaned, small_dataset, small_lexicon):
+        tags = list(small_cleaned.tags)
+        truth = small_dataset.ground_truth
+        size = len(tags)
+
+        # "oracle" distances: 0.1 within the same ground-truth concept, 10 otherwise
+        oracle = np.full((size, size), 10.0)
+        np.fill_diagonal(oracle, 0.0)
+        for i, a in enumerate(tags):
+            for j, b in enumerate(tags):
+                if i != j and set(truth.concepts_of_tag(a)) & set(truth.concepts_of_tag(b)):
+                    oracle[i, j] = 0.1
+
+        rng = np.random.default_rng(0)
+        random_matrix = rng.random((size, size)) * 10
+        random_matrix = (random_matrix + random_matrix.T) / 2
+        np.fill_diagonal(random_matrix, 0.0)
+
+        oracle_score = evaluate_tag_distances(oracle, tags, small_lexicon, "oracle")
+        random_score = evaluate_tag_distances(random_matrix, tags, small_lexicon, "random")
+        assert oracle_score.jcn_avg < random_score.jcn_avg
+        assert oracle_score.rank_avg < random_score.rank_avg
+        assert oracle_score.evaluated_tags > 0
+        assert oracle_score.as_row()["Method"] == "oracle"
+
+    def test_shape_validation(self, small_lexicon):
+        with pytest.raises(DimensionError):
+            evaluate_tag_distances(np.zeros((2, 3)), ["a", "b"], small_lexicon)
+        with pytest.raises(DimensionError):
+            evaluate_tag_distances(np.zeros((2, 2)), ["a"], small_lexicon)

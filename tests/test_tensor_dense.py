@@ -1,0 +1,129 @@
+"""Unit and property tests for dense tensor operations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tensor.dense import (
+    fold,
+    frobenius_norm,
+    mode_product,
+    multi_mode_product,
+    outer_product,
+    tensor_from_tucker,
+    unfold,
+)
+from repro.utils.errors import DimensionError
+
+small_tensors = arrays(
+    dtype=np.float64,
+    shape=st.tuples(
+        st.integers(1, 4), st.integers(1, 4), st.integers(1, 4)
+    ),
+    elements=st.floats(-5, 5, allow_nan=False, width=32),
+)
+
+
+class TestUnfoldFold:
+    def test_unfold_shape(self):
+        tensor = np.arange(24).reshape(2, 3, 4)
+        assert unfold(tensor, 0).shape == (2, 12)
+        assert unfold(tensor, 1).shape == (3, 8)
+        assert unfold(tensor, 2).shape == (4, 6)
+
+    def test_unfold_rows_are_slices(self):
+        tensor = np.arange(24, dtype=float).reshape(2, 3, 4)
+        unfolded = unfold(tensor, 1)
+        for index in range(3):
+            assert np.array_equal(unfolded[index], tensor[:, index, :].ravel())
+
+    def test_unfold_invalid_mode_raises(self):
+        with pytest.raises(DimensionError):
+            unfold(np.zeros((2, 2)), 5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tensor=small_tensors, mode=st.integers(0, 2))
+    def test_fold_inverts_unfold(self, tensor, mode):
+        unfolded = unfold(tensor, mode)
+        restored = fold(unfolded, mode, tensor.shape)
+        assert np.allclose(restored, tensor)
+
+    def test_fold_shape_mismatch_raises(self):
+        with pytest.raises(DimensionError):
+            fold(np.zeros((3, 5)), 0, (3, 2, 2))
+
+    def test_fold_rejects_non_matrix(self):
+        with pytest.raises(DimensionError):
+            fold(np.zeros(6), 0, (2, 3))
+
+
+class TestModeProduct:
+    def test_matches_explicit_sum(self):
+        rng = np.random.default_rng(0)
+        tensor = rng.standard_normal((3, 4, 5))
+        matrix = rng.standard_normal((2, 4))
+        result = mode_product(tensor, matrix, 1)
+        expected = np.einsum("itr,jt->ijr", tensor, matrix)
+        assert np.allclose(result, expected)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(DimensionError):
+            mode_product(np.zeros((2, 3, 4)), np.zeros((5, 7)), 1)
+
+    def test_requires_2d_matrix(self):
+        with pytest.raises(DimensionError):
+            mode_product(np.zeros((2, 3, 4)), np.zeros(3), 1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(tensor=small_tensors)
+    def test_identity_matrix_is_noop(self, tensor):
+        for mode in range(3):
+            identity = np.eye(tensor.shape[mode])
+            assert np.allclose(mode_product(tensor, identity, mode), tensor)
+
+    @settings(max_examples=30, deadline=None)
+    @given(tensor=small_tensors)
+    def test_products_along_distinct_modes_commute(self, tensor):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((2, tensor.shape[0]))
+        b = rng.standard_normal((3, tensor.shape[2]))
+        one_way = mode_product(mode_product(tensor, a, 0), b, 2)
+        other_way = mode_product(mode_product(tensor, b, 2), a, 0)
+        assert np.allclose(one_way, other_way)
+
+    def test_multi_mode_product_applies_all(self):
+        rng = np.random.default_rng(2)
+        tensor = rng.standard_normal((3, 4, 5))
+        a = rng.standard_normal((2, 3))
+        b = rng.standard_normal((2, 5))
+        combined = multi_mode_product(tensor, [(0, a), (2, b)])
+        assert combined.shape == (2, 4, 2)
+
+
+class TestNormsAndConstruction:
+    def test_frobenius_norm_matches_numpy(self):
+        tensor = np.arange(8, dtype=float).reshape(2, 2, 2)
+        assert frobenius_norm(tensor) == pytest.approx(np.linalg.norm(tensor.ravel()))
+
+    def test_outer_product_rank_one(self):
+        a, b, c = np.array([1.0, 2.0]), np.array([3.0, 4.0]), np.array([5.0])
+        tensor = outer_product([a, b, c])
+        assert tensor.shape == (2, 2, 1)
+        assert tensor[1, 0, 0] == pytest.approx(2 * 3 * 5)
+
+    def test_outer_product_empty_raises(self):
+        with pytest.raises(DimensionError):
+            outer_product([])
+
+    def test_tensor_from_tucker_identity_factors(self):
+        core = np.arange(8, dtype=float).reshape(2, 2, 2)
+        factors = [np.eye(2)] * 3
+        assert np.allclose(tensor_from_tucker(core, factors), core)
+
+    def test_tensor_from_tucker_wrong_factor_count(self):
+        with pytest.raises(DimensionError):
+            tensor_from_tucker(np.zeros((2, 2, 2)), [np.eye(2)] * 2)

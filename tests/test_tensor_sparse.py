@@ -1,0 +1,140 @@
+"""Unit and property tests for the COO sparse tensor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import dense as dense_ops
+from repro.tensor.sparse import SparseTensor
+from repro.utils.errors import DimensionError
+
+
+def random_sparse(rng, shape=(4, 5, 6), nnz=20):
+    coords = np.vstack([rng.integers(0, s, size=nnz) for s in shape])
+    values = rng.standard_normal(nnz)
+    return SparseTensor(coords, values, shape)
+
+
+@st.composite
+def sparse_tensor_strategy(draw):
+    shape = draw(
+        st.tuples(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4))
+    )
+    nnz = draw(st.integers(0, 10))
+    entries = []
+    for _ in range(nnz):
+        index = tuple(draw(st.integers(0, s - 1)) for s in shape)
+        value = draw(st.floats(-3, 3, allow_nan=False, width=32))
+        entries.append((index, value))
+    return SparseTensor.from_entries(entries, shape)
+
+
+class TestConstruction:
+    def test_from_entries_and_dense_roundtrip(self):
+        entries = [((0, 1, 2), 3.0), ((1, 0, 0), -1.0)]
+        tensor = SparseTensor.from_entries(entries, (2, 2, 3))
+        dense = tensor.to_dense()
+        assert dense[0, 1, 2] == 3.0
+        assert dense[1, 0, 0] == -1.0
+        assert SparseTensor.from_dense(dense) == tensor
+
+    def test_duplicate_coordinates_are_summed(self):
+        entries = [((0, 0, 0), 1.0), ((0, 0, 0), 2.0)]
+        tensor = SparseTensor.from_entries(entries, (1, 1, 1))
+        assert tensor.nnz == 1
+        assert tensor.to_dense()[0, 0, 0] == pytest.approx(3.0)
+
+    def test_zero_sum_duplicates_are_dropped(self):
+        entries = [((0, 0, 0), 1.0), ((0, 0, 0), -1.0)]
+        tensor = SparseTensor.from_entries(entries, (1, 1, 1))
+        assert tensor.nnz == 0
+
+    def test_out_of_bounds_index_raises(self):
+        with pytest.raises(DimensionError):
+            SparseTensor.from_entries([((5, 0, 0), 1.0)], (2, 2, 2))
+
+    def test_negative_index_raises(self):
+        with pytest.raises(DimensionError):
+            SparseTensor.from_entries([((-1, 0, 0), 1.0)], (2, 2, 2))
+
+    def test_shape_value_mismatch_raises(self):
+        with pytest.raises(DimensionError):
+            SparseTensor(np.zeros((3, 2), dtype=int), np.zeros(3), (2, 2, 2))
+
+    def test_empty_tensor(self):
+        tensor = SparseTensor.from_entries([], (2, 3, 4))
+        assert tensor.nnz == 0
+        assert tensor.frobenius_norm() == 0.0
+        assert tensor.density == 0.0
+
+    def test_views_are_read_only(self):
+        tensor = SparseTensor.from_entries([((0, 0, 0), 1.0)], (1, 1, 1))
+        with pytest.raises(ValueError):
+            tensor.values[0] = 5.0
+        with pytest.raises(ValueError):
+            tensor.coords[0, 0] = 2
+
+
+class TestAlgebra:
+    def test_unfold_matches_dense(self, rng):
+        tensor = random_sparse(rng)
+        dense = tensor.to_dense()
+        for mode in range(3):
+            sparse_unfolded = tensor.unfold(mode).toarray()
+            dense_unfolded = dense_ops.unfold(dense, mode)
+            assert np.allclose(sparse_unfolded, dense_unfolded)
+
+    def test_slice_matches_dense(self, rng):
+        tensor = random_sparse(rng)
+        dense = tensor.to_dense()
+        assert np.allclose(tensor.slice(1, 2).toarray(), dense[:, 2, :])
+        assert np.allclose(tensor.slice(0, 1).toarray(), dense[1, :, :])
+        assert np.allclose(tensor.slice(2, 3).toarray(), dense[:, :, 3])
+
+    def test_slice_bad_arguments(self, rng):
+        tensor = random_sparse(rng)
+        with pytest.raises(DimensionError):
+            tensor.slice(3, 0)
+        with pytest.raises(DimensionError):
+            tensor.slice(1, 99)
+
+    def test_mode_product_matches_dense(self, rng):
+        tensor = random_sparse(rng)
+        dense = tensor.to_dense()
+        matrix = rng.standard_normal((3, tensor.shape[1]))
+        sparse_result = tensor.mode_product(matrix, 1)
+        dense_result = dense_ops.mode_product(dense, matrix, 1)
+        assert np.allclose(sparse_result, dense_result)
+
+    def test_mode_product_shape_mismatch(self, rng):
+        tensor = random_sparse(rng)
+        with pytest.raises(DimensionError):
+            tensor.mode_product(np.zeros((2, 99)), 1)
+
+    def test_frobenius_norm_matches_dense(self, rng):
+        tensor = random_sparse(rng)
+        assert tensor.frobenius_norm() == pytest.approx(
+            dense_ops.frobenius_norm(tensor.to_dense())
+        )
+
+    def test_scale(self, rng):
+        tensor = random_sparse(rng)
+        scaled = tensor.scale(2.0)
+        assert np.allclose(scaled.to_dense(), 2.0 * tensor.to_dense())
+
+    @settings(max_examples=40, deadline=None)
+    @given(tensor=sparse_tensor_strategy())
+    def test_property_unfold_norm_is_preserved(self, tensor):
+        for mode in range(tensor.ndim):
+            unfolded = tensor.unfold(mode)
+            assert np.sqrt((unfolded.multiply(unfolded)).sum()) == pytest.approx(
+                tensor.frobenius_norm(), abs=1e-9
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(tensor=sparse_tensor_strategy())
+    def test_property_dense_roundtrip(self, tensor):
+        assert SparseTensor.from_dense(tensor.to_dense()) == tensor

@@ -1,0 +1,167 @@
+"""Unit tests for the repro.utils helpers."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.errors import ConfigurationError, DimensionError
+from repro.utils.rng import make_rng, permutation, spawn_rngs, weighted_choice
+from repro.utils.timing import Stopwatch, Timer, format_duration
+from repro.utils.validation import (
+    check_finite,
+    check_non_negative_int,
+    check_positive_int,
+    check_probability,
+    check_ratio,
+    check_same_length,
+    check_shape_2d,
+    check_square,
+)
+
+
+class TestRng:
+    def test_make_rng_from_int_is_deterministic(self):
+        a = make_rng(42).integers(0, 1000, size=5)
+        b = make_rng(42).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_make_rng_passthrough_generator(self):
+        generator = np.random.default_rng(1)
+        assert make_rng(generator) is generator
+
+    def test_make_rng_accepts_none(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_spawn_rngs_are_independent_and_deterministic(self):
+        first = [g.integers(0, 100) for g in spawn_rngs(7, 3)]
+        second = [g.integers(0, 100) for g in spawn_rngs(7, 3)]
+        assert first == second
+        assert len(set(first)) > 1 or len(first) == 1
+
+    def test_spawn_rngs_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(7, -1)
+
+    def test_permutation_preserves_elements(self):
+        items = list("abcdef")
+        shuffled = permutation(make_rng(0), items)
+        assert sorted(shuffled) == sorted(items)
+
+    def test_weighted_choice_respects_zero_weights(self):
+        rng = make_rng(0)
+        picks = {
+            weighted_choice(rng, ["a", "b"], weights=[0.0, 1.0]) for _ in range(20)
+        }
+        assert picks == {"b"}
+
+    def test_weighted_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            weighted_choice(make_rng(0), [])
+
+    def test_weighted_choice_bad_weights_raise(self):
+        with pytest.raises(ValueError):
+            weighted_choice(make_rng(0), ["a"], weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_choice(make_rng(0), ["a", "b"], weights=[0.0, 0.0])
+
+
+class TestTiming:
+    def test_format_duration_units(self):
+        assert format_duration(5e-7).endswith("us")
+        assert format_duration(5e-3).endswith("ms")
+        assert format_duration(2.5).endswith("s")
+        assert format_duration(120).endswith("min")
+        assert format_duration(7200).endswith("h")
+
+    def test_format_duration_negative_raises(self):
+        with pytest.raises(ValueError):
+            format_duration(-1.0)
+
+    def test_timer_measures_elapsed_time(self):
+        timer = Timer().start()
+        time.sleep(0.01)
+        elapsed = timer.stop()
+        assert elapsed >= 0.005
+
+    def test_timer_stop_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_timer_context_manager(self):
+        with Timer() as timer:
+            time.sleep(0.005)
+        assert timer.elapsed > 0.0
+
+    def test_stopwatch_accumulates_sections(self):
+        watch = Stopwatch()
+        for _ in range(3):
+            with watch.section("step"):
+                time.sleep(0.002)
+        assert watch.counts()["step"] == 3
+        assert watch.totals()["step"] >= 0.004
+        assert watch.mean("step") > 0.0
+
+    def test_stopwatch_add_and_report(self):
+        watch = Stopwatch()
+        watch.add("external", 1.5)
+        assert watch.totals()["external"] == pytest.approx(1.5)
+        assert "external" in watch.report()
+
+    def test_stopwatch_add_negative_raises(self):
+        with pytest.raises(ValueError):
+            Stopwatch().add("x", -1.0)
+
+    def test_stopwatch_mean_unknown_section_raises(self):
+        with pytest.raises(KeyError):
+            Stopwatch().mean("missing")
+
+
+class TestValidation:
+    def test_check_positive_int_accepts_numpy_ints(self):
+        assert check_positive_int(np.int64(3), "x") == 3
+
+    @pytest.mark.parametrize("value", [0, -1, 1.5, True, "3"])
+    def test_check_positive_int_rejects(self, value):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(value, "x")
+
+    def test_check_non_negative_int(self):
+        assert check_non_negative_int(0, "x") == 0
+        with pytest.raises(ConfigurationError):
+            check_non_negative_int(-1, "x")
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_check_probability_rejects_out_of_range(self, value):
+        with pytest.raises(ConfigurationError):
+            check_probability(value, "p")
+
+    def test_check_probability_accepts_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_check_ratio(self):
+        assert check_ratio(50, "c") == 50.0
+        with pytest.raises(ConfigurationError):
+            check_ratio(0.5, "c")
+
+    def test_check_shape_2d_and_square(self):
+        matrix = np.zeros((3, 4))
+        assert check_shape_2d(matrix, "m").shape == (3, 4)
+        with pytest.raises(DimensionError):
+            check_shape_2d(np.zeros(3), "m")
+        with pytest.raises(DimensionError):
+            check_square(matrix, "m")
+        assert check_square(np.eye(2), "m").shape == (2, 2)
+
+    def test_check_same_length(self):
+        check_same_length([1, 2], ["a", "b"], "x", "y")
+        with pytest.raises(DimensionError):
+            check_same_length([1], [1, 2], "x", "y")
+
+    def test_check_finite(self):
+        check_finite(np.array([1.0, 2.0]), "x")
+        with pytest.raises(DimensionError):
+            check_finite(np.array([1.0, np.nan]), "x")
