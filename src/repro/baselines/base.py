@@ -10,11 +10,14 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.tagging.folksonomy import Folksonomy
 from repro.utils.errors import NotFittedError
 from repro.utils.timing import Timer
+
+if TYPE_CHECKING:  # runtime import would close the search -> core -> search cycle
+    from repro.search.engine import SearchEngine
 
 #: A ranked list: ``(resource, score)`` pairs sorted by decreasing score.
 RankedList = List[Tuple[str, float]]
@@ -60,17 +63,44 @@ class Ranker(abc.ABC):
     def rank(
         self, query_tags: Sequence[str], top_k: Optional[int] = None
     ) -> RankedList:
-        """Rank resources for a tag query (offline model must be fitted)."""
+        """Rank resources for a tag query (offline model must be fitted).
+
+        Empty queries rank nothing: they return an empty list without
+        reaching the method-specific scoring code.
+        """
         if self._folksonomy is None:
             raise NotFittedError(f"{type(self).__name__}.fit() has not been called")
         timer = Timer().start()
-        ranked = self._rank(list(query_tags), top_k)
+        ranked = self._rank(list(query_tags), top_k) if query_tags else []
         elapsed = timer.stop()
         self.timings.query_seconds_total += elapsed
         self.timings.queries_processed += 1
         if top_k is not None:
             ranked = ranked[:top_k]
         return ranked
+
+    def rank_batch(
+        self,
+        queries: Sequence[Sequence[str]],
+        top_k: Optional[int] = None,
+    ) -> List[RankedList]:
+        """Rank a whole batch of queries in one timed pass.
+
+        The default implementation loops over :meth:`_rank`; rankers with a
+        vectorized backend override :meth:`_rank_batch` to score the batch
+        in bulk.  Timing bookkeeping counts every query of the batch.
+        """
+        if self._folksonomy is None:
+            raise NotFittedError(f"{type(self).__name__}.fit() has not been called")
+        tag_lists = [list(tags) for tags in queries]
+        timer = Timer().start()
+        ranked_lists = self._rank_batch(tag_lists, top_k)
+        elapsed = timer.stop()
+        self.timings.query_seconds_total += elapsed
+        self.timings.queries_processed += len(tag_lists)
+        if top_k is not None:
+            ranked_lists = [ranked[:top_k] for ranked in ranked_lists]
+        return ranked_lists
 
     def ranked_resources(
         self, query_tags: Sequence[str], top_k: Optional[int] = None
@@ -99,6 +129,12 @@ class Ranker(abc.ABC):
     def _rank(self, query_tags: List[str], top_k: Optional[int]) -> RankedList:
         """Online computation: score and sort resources for a query."""
 
+    def _rank_batch(
+        self, queries: List[List[str]], top_k: Optional[int]
+    ) -> List[RankedList]:
+        """Batched online computation; default falls back to a query loop."""
+        return [self._rank(tags, top_k) if tags else [] for tags in queries]
+
     # ------------------------------------------------------------------ #
     # Helpers shared by subclasses
     # ------------------------------------------------------------------ #
@@ -106,3 +142,36 @@ class Ranker(abc.ABC):
     def _sort_ranked(scores: Dict[str, float]) -> RankedList:
         """Deterministically sort a ``resource -> score`` map."""
         return sorted(scores.items(), key=lambda pair: (-pair[1], pair[0]))
+
+
+class EngineBackedRanker(Ranker):
+    """Base for rankers whose online component is a :class:`SearchEngine`.
+
+    Subclasses build a concept model offline in :meth:`_fit` and assign the
+    resulting engine to ``self._engine``; ranking (single and batched) then
+    uniformly goes through the engine's backend, so every vector-space
+    method measures the exact same online code path in the timing tables.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._engine: Optional["SearchEngine"] = None
+
+    @property
+    def engine(self) -> "SearchEngine":
+        if self._engine is None:
+            raise NotFittedError(f"{type(self).__name__}.fit() has not been called")
+        return self._engine
+
+    def _rank(self, query_tags: List[str], top_k: Optional[int]) -> RankedList:
+        results = self.engine.search(query_tags, top_k=top_k)
+        return [(result.resource, result.score) for result in results]
+
+    def _rank_batch(
+        self, queries: List[List[str]], top_k: Optional[int]
+    ) -> List[RankedList]:
+        batched = self.engine.rank_batch(queries, top_k=top_k)
+        return [
+            [(result.resource, result.score) for result in results]
+            for results in batched
+        ]

@@ -9,15 +9,13 @@ machinery CubeLSI uses, which keeps the comparison apples-to-apples.
 
 from __future__ import annotations
 
-from typing import List, Optional
-
-from repro.baselines.base import RankedList, Ranker
+from repro.baselines.base import EngineBackedRanker
 from repro.core.concepts import identity_concept_model
 from repro.search.engine import SearchEngine
 from repro.tagging.folksonomy import Folksonomy
 
 
-class BowRanker(Ranker):
+class BowRanker(EngineBackedRanker):
     """tf-idf + cosine over raw tags."""
 
     name = "bow"
@@ -25,15 +23,9 @@ class BowRanker(Ranker):
     def __init__(self, smooth_idf: bool = False) -> None:
         super().__init__()
         self._smooth_idf = smooth_idf
-        self._engine: Optional[SearchEngine] = None
 
     def _fit(self, folksonomy: Folksonomy) -> None:
         concept_model = identity_concept_model(folksonomy.tags)
         self._engine = SearchEngine.build(
             folksonomy, concept_model, smooth_idf=self._smooth_idf, name=self.name
         )
-
-    def _rank(self, query_tags: List[str], top_k: Optional[int]) -> RankedList:
-        assert self._engine is not None
-        results = self._engine.search(query_tags, top_k=top_k)
-        return [(r.resource, r.score) for r in results]

@@ -7,18 +7,18 @@ lets CubeLSI participate without duplicating the pipeline logic in
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.baselines.base import RankedList, Ranker
+from repro.baselines.base import EngineBackedRanker
 from repro.core.concepts import ConceptModel
 from repro.core.pipeline import CubeLSIPipeline, OfflineIndex
 from repro.tagging.folksonomy import Folksonomy
 from repro.utils.rng import SeedLike
 
 
-class CubeLSIRanker(Ranker):
+class CubeLSIRanker(EngineBackedRanker):
     """The full CubeLSI pipeline behind the shared ranking interface."""
 
     name = "cubelsi"
@@ -47,12 +47,8 @@ class CubeLSIRanker(Ranker):
 
     def _fit(self, folksonomy: Folksonomy) -> None:
         self._index = self._pipeline.fit(folksonomy)
+        self._engine = self._index.engine
         self.timings.breakdown.update(self._index.timings)
-
-    def _rank(self, query_tags: List[str], top_k: Optional[int]) -> RankedList:
-        assert self._index is not None
-        results = self._index.engine.search(query_tags, top_k=top_k)
-        return [(r.resource, r.score) for r in results]
 
     # ------------------------------------------------------------------ #
     # Introspection used by the semantic-accuracy experiments

@@ -10,11 +10,11 @@ far more expensive than the Theorem-1/2 shortcut (Table V).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
-from repro.baselines.base import RankedList, Ranker
+from repro.baselines.base import EngineBackedRanker
 from repro.core.concepts import ConceptModel, distill_concepts
 from repro.core.distances import raw_slice_distances
 from repro.search.engine import SearchEngine
@@ -22,7 +22,7 @@ from repro.tagging.folksonomy import Folksonomy
 from repro.utils.rng import SeedLike
 
 
-class CubeSimRanker(Ranker):
+class CubeSimRanker(EngineBackedRanker):
     """Raw tensor-slice distances + concept distillation + concept VSM."""
 
     name = "cubesim"
@@ -37,7 +37,6 @@ class CubeSimRanker(Ranker):
         self._num_concepts = num_concepts
         self._sigma = sigma
         self._seed = seed
-        self._engine: Optional[SearchEngine] = None
         self._concept_model: Optional[ConceptModel] = None
         self._tag_distances: Optional[np.ndarray] = None
 
@@ -58,11 +57,6 @@ class CubeSimRanker(Ranker):
         self._engine = SearchEngine.build(
             folksonomy, self._concept_model, name=self.name
         )
-
-    def _rank(self, query_tags: List[str], top_k: Optional[int]) -> RankedList:
-        assert self._engine is not None
-        results = self._engine.search(query_tags, top_k=top_k)
-        return [(r.resource, r.score) for r in results]
 
     @property
     def tag_distances(self) -> np.ndarray:

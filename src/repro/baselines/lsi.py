@@ -10,11 +10,11 @@ the comparison the paper draws.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
-from repro.baselines.base import RankedList, Ranker
+from repro.baselines.base import EngineBackedRanker
 from repro.core.concepts import ConceptModel, distill_concepts
 from repro.search.engine import SearchEngine
 from repro.tagging.folksonomy import Folksonomy
@@ -22,7 +22,7 @@ from repro.tensor.hosvd import truncated_svd
 from repro.utils.rng import SeedLike
 
 
-class LsiRanker(Ranker):
+class LsiRanker(EngineBackedRanker):
     """2-D LSI on the user-aggregated tag-resource matrix."""
 
     name = "lsi"
@@ -43,7 +43,6 @@ class LsiRanker(Ranker):
         self._sigma = sigma
         self._seed = seed
         self._min_rank = min_rank
-        self._engine: Optional[SearchEngine] = None
         self._concept_model: Optional[ConceptModel] = None
         self._tag_distances: Optional[np.ndarray] = None
 
@@ -81,14 +80,6 @@ class LsiRanker(Ranker):
         self._engine = SearchEngine.build(
             folksonomy, self._concept_model, name=self.name
         )
-
-    # ------------------------------------------------------------------ #
-    # Online
-    # ------------------------------------------------------------------ #
-    def _rank(self, query_tags: List[str], top_k: Optional[int]) -> RankedList:
-        assert self._engine is not None
-        results = self._engine.search(query_tags, top_k=top_k)
-        return [(r.resource, r.score) for r in results]
 
     # ------------------------------------------------------------------ #
     # Introspection used by the Table III experiment

@@ -9,7 +9,7 @@ construction and the "winner takes the difference" trick live in
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Mapping, Optional, Tuple
+from typing import Hashable, Mapping, Tuple
 
 import numpy as np
 import scipy.sparse as sp

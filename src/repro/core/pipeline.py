@@ -15,29 +15,40 @@ plain cosine similarity — the cheap online step of Table VI.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Union
-
-import numpy as np
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Union
 
 from repro.core.concepts import ConceptModel, distill_concepts
 from repro.core.cubelsi import CubeLSI, CubeLSIResult
-from repro.search.engine import SearchEngine
 from repro.tagging.folksonomy import Folksonomy
 from repro.utils.errors import ConfigurationError, NotFittedError
 from repro.utils.rng import SeedLike
 from repro.utils.timing import Stopwatch
 
+if TYPE_CHECKING:  # runtime import would close the core -> search -> core cycle
+    from repro.search.engine import SearchEngine
+
+
+#: JSON file holding OfflineIndex-level metadata in a save directory.
+INDEX_METADATA_FILENAME = "offline_index.json"
+
 
 @dataclass
 class OfflineIndex:
-    """Everything produced by the offline component of Figure 1."""
+    """Everything produced by the offline component of Figure 1.
 
-    folksonomy: Folksonomy
-    cubelsi_result: CubeLSIResult
+    Indexes restored with :meth:`load` carry only what online serving
+    needs — the concept model and the compiled search engine; the training
+    folksonomy and the raw decomposition result are ``None``.
+    """
+
     concept_model: ConceptModel
-    engine: SearchEngine
+    engine: "SearchEngine"
     timings: Dict[str, float]
+    folksonomy: Optional[Folksonomy] = None
+    cubelsi_result: Optional[CubeLSIResult] = None
 
     @property
     def num_concepts(self) -> int:
@@ -46,6 +57,43 @@ class OfflineIndex:
     def preprocessing_seconds(self) -> float:
         """Total offline time (decomposition + distances + clustering + indexing)."""
         return float(sum(self.timings.values()))
+
+    # ------------------------------------------------------------------ #
+    # Persistence (offline indexing and online serving as two processes)
+    # ------------------------------------------------------------------ #
+    def save(self, directory: Union[str, Path]) -> Path:
+        """Write the serving artefacts (engine + metadata) to ``directory``."""
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        self.engine.save(path)
+        metadata = {
+            "timings": {name: float(value) for name, value in self.timings.items()},
+            "dataset_name": self.folksonomy.name if self.folksonomy else None,
+            "num_concepts": self.num_concepts,
+        }
+        (path / INDEX_METADATA_FILENAME).write_text(
+            json.dumps(metadata), encoding="utf-8"
+        )
+        return path
+
+    @classmethod
+    def load(cls, directory: Union[str, Path]) -> "OfflineIndex":
+        """Restore a serving-ready index from :meth:`save` output."""
+        path = Path(directory)
+        metadata_path = path / INDEX_METADATA_FILENAME
+        if not metadata_path.exists():
+            raise NotFittedError(f"no saved offline index under {path}")
+        from repro.search.engine import SearchEngine
+
+        metadata = json.loads(metadata_path.read_text(encoding="utf-8"))
+        engine = SearchEngine.load(path)
+        return cls(
+            concept_model=engine.concept_model,
+            engine=engine,
+            timings={
+                name: float(value) for name, value in metadata["timings"].items()
+            },
+        )
 
 
 class CubeLSIPipeline:
@@ -114,6 +162,8 @@ class CubeLSIPipeline:
                 sigma=self._sigma,
                 seed=self._seed,
             )
+
+        from repro.search.engine import SearchEngine
 
         with watch.section("indexing"):
             engine = SearchEngine.build(

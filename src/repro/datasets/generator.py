@@ -21,16 +21,16 @@ without human annotation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.datasets.vocabulary import ConceptSpec, Vocabulary, build_default_vocabulary
+from repro.datasets.vocabulary import Vocabulary, build_default_vocabulary
 from repro.tagging.entities import TagAssignment
 from repro.tagging.folksonomy import Folksonomy
 from repro.utils.errors import ConfigurationError
-from repro.utils.rng import SeedLike, make_rng
+from repro.utils.rng import make_rng
 from repro.utils.validation import (
     check_positive_int,
     check_probability,

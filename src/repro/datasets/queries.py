@@ -16,9 +16,8 @@ participants, the workload is simulated from the generator's ground truth:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
-import numpy as np
 
 from repro.datasets.generator import GroundTruth, SyntheticDataset
 from repro.utils.errors import ConfigurationError

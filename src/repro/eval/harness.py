@@ -14,11 +14,10 @@ The harness is deliberately ranker-agnostic — anything implementing
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.baselines.base import Ranker
 from repro.datasets.queries import QueryWorkload
-from repro.eval.ndcg import mean_ndcg_at
 from repro.tagging.folksonomy import Folksonomy
 from repro.utils.errors import ConfigurationError
 
@@ -106,6 +105,7 @@ class RankingExperiment:
         cutoffs: Sequence[int] = DEFAULT_NDCG_CUTOFFS,
         max_rank_depth: Optional[int] = None,
         pooled: bool = True,
+        batched: bool = True,
     ) -> None:
         if len(workload) == 0:
             raise ConfigurationError("the query workload is empty")
@@ -116,6 +116,7 @@ class RankingExperiment:
             raise ConfigurationError("at least one NDCG cutoff is required")
         self._max_rank_depth = max_rank_depth or max(self._cutoffs)
         self._pooled = pooled
+        self._batched = batched
 
     @property
     def cutoffs(self) -> Sequence[int]:
@@ -156,11 +157,21 @@ class RankingExperiment:
         ranker.fit(self._folksonomy)
 
         rankings: Dict[str, List[str]] = {}
-        for query in self._workload:
-            ranked = ranker.ranked_resources(
-                list(query.tags), top_k=self._max_rank_depth
+        if self._batched:
+            # Fast path: score the whole workload in one shot so rankers
+            # with a matrix backend do a single batched top-k pass.
+            queries = list(self._workload)
+            ranked_lists = ranker.rank_batch(
+                [list(query.tags) for query in queries], top_k=self._max_rank_depth
             )
-            rankings[query.query_id] = ranked
+            for query, ranked in zip(queries, ranked_lists):
+                rankings[query.query_id] = [resource for resource, _ in ranked]
+        else:
+            for query in self._workload:
+                ranked = ranker.ranked_resources(
+                    list(query.tags), top_k=self._max_rank_depth
+                )
+                rankings[query.query_id] = ranked
 
         return MethodEvaluation(
             method=name,

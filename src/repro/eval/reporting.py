@@ -7,7 +7,7 @@ across every experiment module.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 Number = Union[int, float]
 

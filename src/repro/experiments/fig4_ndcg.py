@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.baselines.registry import build_all_rankers, default_ranker_names
+from repro.baselines.registry import build_all_rankers
 from repro.datasets.profiles import PROFILES
 from repro.eval.harness import DEFAULT_NDCG_CUTOFFS, RankingEvaluation, RankingExperiment
 from repro.experiments.common import (

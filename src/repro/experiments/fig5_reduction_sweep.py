@@ -11,7 +11,7 @@ monotone-decreasing shape is the same.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.baselines.cubelsi_ranker import CubeLSIRanker
 from repro.experiments.common import (

@@ -12,7 +12,7 @@ lies within the other's closest ``relatedness_quantile`` of candidates.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 

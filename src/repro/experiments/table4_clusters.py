@@ -13,7 +13,7 @@ on the Delicious-profile corpus, inspects the resulting concepts and reports
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.baselines.cubelsi_ranker import CubeLSIRanker
 from repro.datasets.vocabulary import TagKind

@@ -6,20 +6,26 @@ deliberately a classical VSM stack — the paper's point is that once concept
 distillation has been done offline, online query processing is just cheap
 dot products (Table VI).
 
-* :mod:`repro.search.vsm` — tf-idf weighting (Eq. 1-3) and cosine (Eq. 4).
+* :mod:`repro.search.vsm` — tf-idf weighting (Eq. 1-3) and cosine (Eq. 4);
+  the dict-loop reference implementation.
 * :mod:`repro.search.inverted_index` — the postings-list index behind the
-  dot products.
+  reference dot products.
+* :mod:`repro.search.matrix_space` — the compiled CSR backend: batched
+  top-k scoring with one sparse matmul, plus ``.npz``/JSON persistence.
 * :mod:`repro.search.engine` — the user-facing query interface combining a
-  concept model, the index and the ranking.
+  concept model, the backends and the ranking.
 """
 
 from repro.search.vsm import ConceptVectorSpace, RankedResult
 from repro.search.inverted_index import InvertedIndex
+from repro.search.matrix_space import MatrixConceptSpace, select_top_k
 from repro.search.engine import SearchEngine
 
 __all__ = [
     "ConceptVectorSpace",
     "RankedResult",
     "InvertedIndex",
+    "MatrixConceptSpace",
+    "select_top_k",
     "SearchEngine",
 ]

@@ -1,22 +1,38 @@
 """The user-facing search engine: tag queries in, ranked resources out.
 
 :class:`SearchEngine` glues together a :class:`~repro.core.concepts.ConceptModel`
-(how tags map to concepts) and a fitted
-:class:`~repro.search.vsm.ConceptVectorSpace` (how resources are weighted in
-concept space).  It implements the *online* component of the paper's
-Figure 1: transform the query's tags into concepts, compute cosine
-similarities, return a ranked list.
+(how tags map to concepts) and the fitted concept space (how resources are
+weighted).  It implements the *online* component of the paper's Figure 1:
+transform the query's tags into concepts, compute cosine similarities,
+return a ranked list.
+
+Two interchangeable scoring backends are supported:
+
+* the reference dict-loop :class:`~repro.search.vsm.ConceptVectorSpace`
+  (kept for auditability and as the parity oracle), and
+* the compiled :class:`~repro.search.matrix_space.MatrixConceptSpace`,
+  which scores whole query batches with one sparse matmul and is used by
+  default whenever it is available.
+
+Engines built from a folksonomy carry both; engines loaded from disk carry
+only the compiled matrix backend.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
-from repro.core.concepts import ConceptModel
+from repro.core.concepts import Concept, ConceptModel
+from repro.search.matrix_space import MatrixConceptSpace
 from repro.search.vsm import ConceptVectorSpace, RankedResult
 from repro.tagging.folksonomy import Folksonomy
-from repro.utils.errors import ConfigurationError
+from repro.utils.errors import ConfigurationError, NotFittedError
+
+#: JSON file holding the concept model and engine metadata in a save dir.
+ENGINE_FILENAME = "engine.json"
 
 
 @dataclass
@@ -28,14 +44,19 @@ class SearchEngine:
     concept_model:
         Maps tags (of resources and of queries) to concept ids.
     vector_space:
-        The fitted tf-idf concept vector space over all resources.
+        The reference dict-loop tf-idf space; ``None`` for engines loaded
+        from disk (which only need the compiled backend).
     name:
         Identifier used in experiment reports (e.g. ``"cubelsi"``).
+    matrix_space:
+        The compiled CSR backend; ``None`` disables batched scoring and
+        falls back to the dict loops.
     """
 
     concept_model: ConceptModel
-    vector_space: ConceptVectorSpace
+    vector_space: Optional[ConceptVectorSpace]
     name: str = "cubelsi"
+    matrix_space: Optional[MatrixConceptSpace] = field(default=None)
 
     @classmethod
     def build(
@@ -44,26 +65,41 @@ class SearchEngine:
         concept_model: ConceptModel,
         smooth_idf: bool = False,
         name: str = "cubelsi",
+        matrix_backend: bool = True,
     ) -> "SearchEngine":
         """Build the engine by indexing every resource of ``folksonomy``.
 
         Each resource's bag of tags is translated to a bag of concepts with
-        ``concept_model`` and indexed with tf-idf weights.
+        ``concept_model`` and indexed with tf-idf weights.  With
+        ``matrix_backend=True`` (default) the fitted space is additionally
+        compiled into CSR arrays for batched scoring.
         """
         resource_bags: Dict[str, Dict[int, float]] = {}
         for resource in folksonomy.resources:
             tag_bag = folksonomy.tag_bag(resource)
             resource_bags[resource] = concept_model.concept_bag(tag_bag)
         vector_space = ConceptVectorSpace(smooth_idf=smooth_idf).fit(resource_bags)
-        return cls(concept_model=concept_model, vector_space=vector_space, name=name)
+        matrix_space = (
+            MatrixConceptSpace.compile(vector_space) if matrix_backend else None
+        )
+        return cls(
+            concept_model=concept_model,
+            vector_space=vector_space,
+            name=name,
+            matrix_space=matrix_space,
+        )
 
     # ------------------------------------------------------------------ #
     # Querying
     # ------------------------------------------------------------------ #
     def query_concepts(self, query_tags: Sequence[str]) -> Dict[int, float]:
-        """The query's bag of concepts (step "Given Query" of Figure 1)."""
+        """The query's bag of concepts (step "Given Query" of Figure 1).
+
+        An empty tag list (or one whose tags map to no known concept) yields
+        an empty bag; callers treat that as "matches nothing".
+        """
         if not query_tags:
-            raise ConfigurationError("a query must contain at least one tag")
+            return {}
         return self.concept_model.concept_bag_from_tags(query_tags)
 
     def search(
@@ -72,12 +108,45 @@ class SearchEngine:
         """Rank all resources against a tag query.
 
         Resources whose concept vectors share no concept with the query are
-        omitted (their cosine similarity is zero).
+        omitted (their cosine similarity is zero).  Empty queries and queries
+        of entirely unknown tags return an empty list.
         """
         concept_bag = self.query_concepts(query_tags)
         if not concept_bag:
             return []
-        return self.vector_space.rank(concept_bag, top_k=top_k)
+        if self.matrix_space is not None:
+            return self.matrix_space.rank(concept_bag, top_k=top_k)
+        return self._require_vector_space().rank(concept_bag, top_k=top_k)
+
+    def rank_batch(
+        self,
+        queries: Sequence[Sequence[str]],
+        top_k: Optional[int] = None,
+    ) -> List[List[RankedResult]]:
+        """Rank a whole batch of tag queries in one pass.
+
+        With the matrix backend the batch is scored by a single sparse
+        matmul; otherwise each query goes through the dict-loop reference
+        path.  The i-th result list always corresponds to the i-th query,
+        with empty/unmatchable queries producing empty lists.
+        """
+        concept_bags = [self.query_concepts(tags) for tags in queries]
+        if self.matrix_space is not None:
+            scorable = [
+                (position, bag) for position, bag in enumerate(concept_bags) if bag
+            ]
+            results: List[List[RankedResult]] = [[] for _ in concept_bags]
+            if scorable:
+                ranked = self.matrix_space.rank_batch(
+                    [bag for _, bag in scorable], top_k=top_k
+                )
+                for (position, _), result in zip(scorable, ranked):
+                    results[position] = result
+            return results
+        space = self._require_vector_space()
+        return [
+            space.rank(bag, top_k=top_k) if bag else [] for bag in concept_bags
+        ]
 
     def ranked_resources(
         self, query_tags: Sequence[str], top_k: Optional[int] = None
@@ -90,13 +159,17 @@ class SearchEngine:
         concept_bag = self.query_concepts(query_tags)
         if not concept_bag:
             return 0.0
-        return self.vector_space.cosine(concept_bag, resource)
+        if self.vector_space is not None:
+            return self.vector_space.cosine(concept_bag, resource)
+        assert self.matrix_space is not None
+        return self.matrix_space.cosine(concept_bag, resource)
 
     def explain(self, query_tags: Sequence[str], resource: str) -> Dict[str, object]:
         """A debugging breakdown of how a resource scored for a query."""
+        space = self._require_vector_space()
         concept_bag = self.query_concepts(query_tags)
-        query_vector = self.vector_space.query_vector(concept_bag)
-        resource_vector = self.vector_space.resource_vector(resource)
+        query_vector = space.query_vector(concept_bag)
+        resource_vector = space.resource_vector(resource)
         overlap = {
             concept: (query_vector.get(concept, 0.0), resource_vector.get(concept, 0.0))
             for concept in set(query_vector) | set(resource_vector)
@@ -107,3 +180,78 @@ class SearchEngine:
             "cosine": self.score(query_tags, resource),
             "per_concept_weights": overlap,
         }
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, directory: Union[str, Path]) -> Path:
+        """Persist the engine (compiled backend + concept model) to a dir.
+
+        Only the matrix backend is serialised — the dict-loop space is a
+        fit-time artefact.  Dynamic (``own-concept``) concepts allocated
+        after fitting are not persisted.
+        """
+        if self.matrix_space is None:
+            raise ConfigurationError(
+                "cannot save an engine without a compiled matrix backend"
+            )
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        self.matrix_space.save(path)
+        payload = {
+            "name": self.name,
+            "concept_model": _concept_model_to_json(self.concept_model),
+        }
+        (path / ENGINE_FILENAME).write_text(json.dumps(payload), encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, directory: Union[str, Path]) -> "SearchEngine":
+        """Load an engine saved by :meth:`save` (matrix backend only)."""
+        path = Path(directory)
+        engine_path = path / ENGINE_FILENAME
+        if not engine_path.exists():
+            raise NotFittedError(f"no saved engine under {path}")
+        payload = json.loads(engine_path.read_text(encoding="utf-8"))
+        return cls(
+            concept_model=_concept_model_from_json(payload["concept_model"]),
+            vector_space=None,
+            name=payload["name"],
+            matrix_space=MatrixConceptSpace.load(path),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _require_vector_space(self) -> ConceptVectorSpace:
+        if self.vector_space is None:
+            raise ConfigurationError(
+                "this engine was loaded from disk and carries no dict-loop "
+                "vector space; use the matrix backend APIs"
+            )
+        return self.vector_space
+
+
+def _concept_model_to_json(model: ConceptModel) -> Dict[str, object]:
+    return {
+        "unknown_policy": model.unknown_policy,
+        "concepts": [
+            {"id": concept.concept_id, "tags": list(concept.tags)}
+            for concept in model.concepts
+        ],
+    }
+
+
+def _concept_model_from_json(payload: Dict[str, object]) -> ConceptModel:
+    concepts = [
+        Concept(concept_id=int(entry["id"]), tags=tuple(entry["tags"]))
+        for entry in payload["concepts"]  # type: ignore[union-attr]
+    ]
+    tag_to_concept = {
+        tag: concept.concept_id for concept in concepts for tag in concept.tags
+    }
+    return ConceptModel(
+        concepts=concepts,
+        tag_to_concept=tag_to_concept,
+        unknown_policy=str(payload["unknown_policy"]),
+    )

@@ -1,0 +1,543 @@
+"""A compiled, vectorized view of the concept vector space.
+
+:class:`MatrixConceptSpace` freezes a fitted
+:class:`~repro.search.vsm.ConceptVectorSpace` into CSR arrays — ``indptr`` /
+``indices`` / ``data`` over a fixed concept vocabulary plus precomputed
+document norms — so that scoring becomes sparse matrix algebra instead of
+per-posting Python loops.  A whole batch of queries is ranked with one
+sparse-sparse matmul followed by :func:`numpy.argpartition` top-k selection,
+which is what makes the paper's "online querying is just cheap dot products"
+claim (Table VI) hold at scale.
+
+The compiled space is also the unit of persistence: :meth:`save` writes the
+arrays to ``.npz`` and the vocabulary/metadata to JSON so that offline
+indexing and online serving can run in separate processes.
+
+Scores, rankings and tie-breaking (descending score, then ascending resource
+id) are bit-for-bit compatible with the reference dict-loop implementation in
+:mod:`repro.search.vsm`; ``tests/test_matrix_space.py`` holds the parity
+suite.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.search.vsm import ConceptVectorSpace, RankedResult
+from repro.utils.errors import ConfigurationError, NotFittedError
+
+#: File names used inside a save directory.
+ARRAYS_FILENAME = "matrix_space.npz"
+METADATA_FILENAME = "matrix_space.json"
+
+#: Bumped whenever the on-disk layout changes incompatibly.
+FORMAT_VERSION = 1
+
+#: Largest ``queries x documents`` cell count (~64 MB of float64 scores) for
+#: which batched ranking densifies the score matrix to rank all rows with a
+#: single argpartition/lexsort; bigger workloads stay row-by-row sparse.
+DENSE_BATCH_CELLS = 8_000_000
+
+
+def select_top_k(
+    positions: np.ndarray, scores: np.ndarray, top_k: Optional[int]
+) -> np.ndarray:
+    """Exact top-k selection with deterministic tie-breaking.
+
+    Given candidate row ``positions`` (whose order encodes the tie-break:
+    lower position wins) and their ``scores``, return the indices into
+    ``positions``/``scores`` of the top ``top_k`` entries sorted by
+    descending score, ties broken by ascending position.  Entries with
+    non-positive scores are dropped, mirroring the dict-loop path which
+    never materialises zero-similarity documents.
+
+    Uses :func:`numpy.argpartition` to avoid a full sort when ``top_k`` is
+    small, but widens the partition to the whole boundary tie group so the
+    selection matches an exhaustive ``sorted(..., key=(-score, position))``.
+    """
+    if scores.size == 0:
+        return np.empty(0, dtype=np.intp)
+    if bool((scores > 0.0).all()):
+        # Fast path: structurally, sparse dot products of non-negative
+        # weight matrices are strictly positive wherever they are stored,
+        # so the positivity filter is usually a no-op.
+        keep = None
+        kept_scores = scores
+        kept_positions = positions
+    else:
+        keep = np.flatnonzero(scores > 0.0)
+        if keep.size == 0:
+            return keep
+        kept_scores = scores[keep]
+        kept_positions = positions[keep]
+    if top_k is not None and top_k < kept_scores.size:
+        head = np.argpartition(-kept_scores, top_k - 1)[:top_k]
+        boundary = kept_scores[head].min()
+        candidate = np.flatnonzero(kept_scores >= boundary)
+    else:
+        candidate = np.arange(kept_scores.size)
+    order = np.lexsort((kept_positions[candidate], -kept_scores[candidate]))
+    selected = candidate[order]
+    if top_k is not None:
+        selected = selected[:top_k]
+    return selected if keep is None else keep[selected]
+
+
+class MatrixConceptSpace:
+    """CSR-compiled tf-idf concept space with batched top-k ranking.
+
+    Instances are produced by :meth:`compile` (from a fitted dict-loop
+    space) or :meth:`load` (from a directory written by :meth:`save`); the
+    constructor takes the already-validated internal arrays.
+    """
+
+    def __init__(
+        self,
+        doc_ids: Sequence[str],
+        terms: Sequence[Hashable],
+        matrix: sp.csr_matrix,
+        doc_norms: np.ndarray,
+        idf: np.ndarray,
+        smooth_idf: bool,
+        num_resources: int,
+    ) -> None:
+        self._doc_ids: Tuple[str, ...] = tuple(doc_ids)
+        self._doc_index: Dict[str, int] = {
+            doc_id: row for row, doc_id in enumerate(self._doc_ids)
+        }
+        self._terms: Tuple[Hashable, ...] = tuple(terms)
+        self._term_index: Dict[Hashable, int] = {
+            term: column for column, term in enumerate(self._terms)
+        }
+        self._matrix = matrix
+        self._dense_matrix: Optional[np.ndarray] = None
+        self._doc_norms = np.asarray(doc_norms, dtype=np.float64)
+        self._idf = np.asarray(idf, dtype=np.float64)
+        self._smooth_idf = bool(smooth_idf)
+        self._num_resources = int(num_resources)
+        if matrix.shape != (len(self._doc_ids), len(self._terms)):
+            raise ConfigurationError(
+                f"matrix shape {matrix.shape} does not match "
+                f"{len(self._doc_ids)} documents x {len(self._terms)} terms"
+            )
+        # idf of a term never seen in the corpus (affects the query norm
+        # under smoothing, exactly as in the dict-loop weighting).
+        if self._smooth_idf:
+            self._unknown_idf = math.log(float(self._num_resources + 1)) + 1.0
+        else:
+            self._unknown_idf = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def compile(cls, space: ConceptVectorSpace) -> "MatrixConceptSpace":
+        """Freeze a fitted dict-loop space into CSR arrays.
+
+        Documents are laid out in ascending resource-id order so that row
+        position doubles as the ranking tie-break.
+        """
+        terms = space.terms()
+        term_index = {term: column for column, term in enumerate(terms)}
+        doc_ids = sorted(space.documents())
+
+        indptr = np.zeros(len(doc_ids) + 1, dtype=np.int64)
+        columns: List[int] = []
+        values: List[float] = []
+        norms = np.zeros(len(doc_ids), dtype=np.float64)
+        for row, doc_id in enumerate(doc_ids):
+            vector = space.resource_vector(doc_id)
+            entries = sorted(
+                (term_index[term], weight) for term, weight in vector.items()
+            )
+            indptr[row + 1] = indptr[row] + len(entries)
+            columns.extend(column for column, _ in entries)
+            values.extend(weight for _, weight in entries)
+            norms[row] = math.sqrt(sum(weight * weight for _, weight in entries))
+
+        matrix = sp.csr_matrix(
+            (
+                np.asarray(values, dtype=np.float64),
+                np.asarray(columns, dtype=np.int64),
+                indptr,
+            ),
+            shape=(len(doc_ids), len(terms)),
+        )
+        return cls(
+            doc_ids=doc_ids,
+            terms=terms,
+            matrix=matrix,
+            doc_norms=norms,
+            idf=np.array([space.idf(term) for term in terms], dtype=np.float64),
+            smooth_idf=space.smooth_idf,
+            num_resources=space.num_resources,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_resources(self) -> int:
+        return self._num_resources
+
+    @property
+    def num_documents(self) -> int:
+        return len(self._doc_ids)
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._terms)
+
+    @property
+    def smooth_idf(self) -> bool:
+        return self._smooth_idf
+
+    @property
+    def doc_ids(self) -> Tuple[str, ...]:
+        return self._doc_ids
+
+    @property
+    def terms(self) -> Tuple[Hashable, ...]:
+        return self._terms
+
+    @property
+    def nnz(self) -> int:
+        """Stored weights — the memory figure Table VII cares about."""
+        return int(self._matrix.nnz)
+
+    def idf(self, term: Hashable) -> float:
+        column = self._term_index.get(term)
+        return float(self._idf[column]) if column is not None else 0.0
+
+    def document_norm(self, doc_id: str) -> float:
+        row = self._doc_index.get(doc_id)
+        return float(self._doc_norms[row]) if row is not None else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Ranking
+    # ------------------------------------------------------------------ #
+    def rank(
+        self,
+        query_bag: Mapping[Hashable, float],
+        top_k: Optional[int] = None,
+    ) -> List[RankedResult]:
+        """Rank all resources against one query bag (Eq. 4)."""
+        return self.rank_batch([query_bag], top_k=top_k)[0]
+
+    def rank_batch(
+        self,
+        query_bags: Sequence[Mapping[Hashable, float]],
+        top_k: Optional[int] = None,
+    ) -> List[List[RankedResult]]:
+        """Rank every query of a batch with one sparse matmul.
+
+        Queries whose bags are empty or carry no corpus term simply yield an
+        empty result list — a zero query norm never raises or produces NaN.
+        """
+        if top_k is not None and top_k < 1:
+            raise ConfigurationError(f"top_k must be >= 1 when given, got {top_k}")
+        if not query_bags:
+            return []
+
+        rows: List[int] = []
+        columns: List[int] = []
+        values: List[float] = []
+        query_norms = np.zeros(len(query_bags), dtype=np.float64)
+        for row, bag in enumerate(query_bags):
+            weights, out_of_vocab_sq = self._weight_query(bag)
+            norm_sq = out_of_vocab_sq
+            for column, weight in weights.items():
+                rows.append(row)
+                columns.append(column)
+                values.append(weight)
+                norm_sq += weight * weight
+            query_norms[row] = math.sqrt(norm_sq)
+
+        query_matrix = sp.csr_matrix(
+            (values, (rows, columns)),
+            shape=(len(query_bags), len(self._terms)),
+            dtype=np.float64,
+        )
+        num_queries = len(query_bags)
+        num_docs = len(self._doc_ids)
+        num_terms = len(self._terms)
+        if (
+            top_k is not None
+            and 0 < num_docs
+            and num_queries * num_docs <= DENSE_BATCH_CELLS
+            and num_docs * num_terms <= DENSE_BATCH_CELLS
+            and num_queries * num_terms <= DENSE_BATCH_CELLS
+        ):
+            # Small enough to densify: one BLAS matmul + one batched
+            # argpartition/lexsort ranks every row without per-row numpy
+            # call overhead.
+            scores = query_matrix.toarray() @ self._dense_weights().T
+            return self._rank_rows_dense(scores, query_norms, top_k)
+        return self._rank_rows_sparse(
+            query_matrix @ self._matrix.T, query_norms, top_k
+        )
+
+    def cosine(self, query_bag: Mapping[Hashable, float], resource: str) -> float:
+        """Cosine similarity between one query bag and one resource."""
+        row = self._doc_index.get(resource)
+        if row is None:
+            return 0.0
+        weights, out_of_vocab_sq = self._weight_query(query_bag)
+        if not weights and out_of_vocab_sq == 0.0:
+            return 0.0
+        norm_sq = out_of_vocab_sq + sum(w * w for w in weights.values())
+        query_norm = math.sqrt(norm_sq)
+        doc_norm = self._doc_norms[row]
+        if query_norm == 0.0 or doc_norm == 0.0:
+            return 0.0
+        start, end = self._matrix.indptr[row], self._matrix.indptr[row + 1]
+        dot = 0.0
+        for column, value in zip(
+            self._matrix.indices[start:end], self._matrix.data[start:end]
+        ):
+            weight = weights.get(int(column))
+            if weight is not None:
+                dot += weight * float(value)
+        return dot / (query_norm * doc_norm)
+
+    # ------------------------------------------------------------------ #
+    # Batched scoring backends
+    # ------------------------------------------------------------------ #
+    def _rank_rows_sparse(
+        self,
+        products: sp.csr_matrix,
+        query_norms: np.ndarray,
+        top_k: Optional[int],
+    ) -> List[List[RankedResult]]:
+        """Per-row selection on the sparse product (unbounded batch sizes)."""
+        indptr, indices, dots = products.indptr, products.indices, products.data
+        if dots.size:
+            # One vectorized cosine normalisation over every stored dot
+            # product; rows of zero-norm queries are structurally empty, so
+            # the repeat never pairs a zero norm with a stored entry.
+            row_lengths = np.diff(indptr)
+            denominator = np.repeat(query_norms, row_lengths) * self._doc_norms[indices]
+            all_scores = dots / denominator
+
+        doc_ids = self._doc_ids
+        results: List[List[RankedResult]] = []
+        for row in range(products.shape[0]):
+            start, end = indptr[row], indptr[row + 1]
+            if start == end:
+                results.append([])
+                continue
+            candidates = indices[start:end]
+            scores = all_scores[start:end]
+            selected = select_top_k(candidates, scores, top_k)
+            results.append(
+                [
+                    RankedResult(doc_ids[column], score, position)
+                    for position, (column, score) in enumerate(
+                        zip(
+                            candidates[selected].tolist(),
+                            scores[selected].tolist(),
+                        ),
+                        start=1,
+                    )
+                ]
+            )
+        return results
+
+    def _dense_weights(self) -> np.ndarray:
+        """A lazily-cached dense copy of the weight matrix (small spaces only)."""
+        if self._dense_matrix is None:
+            self._dense_matrix = self._matrix.toarray()
+        return self._dense_matrix
+
+    def _rank_rows_dense(
+        self,
+        scores: np.ndarray,
+        query_norms: np.ndarray,
+        top_k: int,
+    ) -> List[List[RankedResult]]:
+        """Whole-batch top-k on a dense ``queries x documents`` score matrix.
+
+        Ranks every row with a single ``argpartition``/``lexsort`` pair,
+        removing the per-row numpy call overhead that dominates the sparse
+        path on medium batches.  Used only when the involved cell counts
+        are bounded (:data:`DENSE_BATCH_CELLS`).
+        """
+        # Zero norms only ever co-occur with structurally-zero rows/columns,
+        # so substituting 1.0 cannot change a stored score.
+        scores /= np.where(query_norms > 0.0, query_norms, 1.0)[:, None]
+        scores /= np.where(self._doc_norms > 0.0, self._doc_norms, 1.0)[None, :]
+        num_queries, num_docs = scores.shape
+        bounded_k = min(top_k, num_docs)
+
+        if bounded_k < num_docs:
+            head = np.argpartition(-scores, bounded_k - 1, axis=1)[:, :bounded_k]
+        else:
+            head = np.tile(np.arange(num_docs), (num_queries, 1))
+        head_scores = np.take_along_axis(scores, head, axis=1)
+
+        # Order all rows at once by (row, -score, doc position).
+        flat_rows = np.repeat(np.arange(num_queries), bounded_k)
+        order = np.lexsort((head.ravel(), -head_scores.ravel(), flat_rows))
+        sorted_columns = head.ravel()[order].reshape(num_queries, bounded_k)
+        sorted_scores = head_scores.ravel()[order].reshape(num_queries, bounded_k)
+
+        # Rows whose k-th score ties with unselected documents need the
+        # exact lowest-doc-id members of the tie group; redo those few rows.
+        if bounded_k < num_docs:
+            boundary = sorted_scores[:, -1]
+            tie_rows = set(
+                np.flatnonzero(
+                    (boundary > 0.0)
+                    & ((scores >= boundary[:, None]).sum(axis=1) > bounded_k)
+                ).tolist()
+            )
+        else:
+            tie_rows = set()
+
+        positive_counts = (sorted_scores > 0.0).sum(axis=1).tolist()
+        columns_list = sorted_columns.tolist()
+        scores_list = sorted_scores.tolist()
+        doc_ids = self._doc_ids
+        all_positions = np.arange(num_docs)
+        results: List[List[RankedResult]] = []
+        for row in range(num_queries):
+            if row in tie_rows:
+                row_scores = scores[row]
+                selected = select_top_k(all_positions, row_scores, top_k)
+                results.append(
+                    [
+                        RankedResult(doc_ids[column], float(row_scores[column]), position)
+                        for position, column in enumerate(selected.tolist(), start=1)
+                    ]
+                )
+                continue
+            count = positive_counts[row]
+            results.append(
+                [
+                    RankedResult(doc_ids[column], score, position)
+                    for position, (column, score) in enumerate(
+                        zip(columns_list[row][:count], scores_list[row][:count]),
+                        start=1,
+                    )
+                ]
+            )
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, directory: Union[str, Path]) -> Path:
+        """Write the arrays (``.npz``) and metadata (JSON) to ``directory``."""
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(
+            path / ARRAYS_FILENAME,
+            indptr=self._matrix.indptr.astype(np.int64),
+            indices=self._matrix.indices.astype(np.int64),
+            data=self._matrix.data.astype(np.float64),
+            doc_norms=self._doc_norms,
+            idf=self._idf,
+        )
+        metadata = {
+            "format_version": FORMAT_VERSION,
+            "doc_ids": list(self._doc_ids),
+            "terms": _encode_terms(self._terms),
+            "smooth_idf": self._smooth_idf,
+            "num_resources": self._num_resources,
+            "shape": [len(self._doc_ids), len(self._terms)],
+        }
+        (path / METADATA_FILENAME).write_text(
+            json.dumps(metadata), encoding="utf-8"
+        )
+        return path
+
+    @classmethod
+    def load(cls, directory: Union[str, Path]) -> "MatrixConceptSpace":
+        """Reconstruct a space from a directory written by :meth:`save`."""
+        path = Path(directory)
+        metadata_path = path / METADATA_FILENAME
+        arrays_path = path / ARRAYS_FILENAME
+        if not metadata_path.exists() or not arrays_path.exists():
+            raise NotFittedError(f"no saved matrix space under {path}")
+        metadata = json.loads(metadata_path.read_text(encoding="utf-8"))
+        version = metadata.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported matrix-space format version {version!r}"
+            )
+        with np.load(arrays_path) as arrays:
+            matrix = sp.csr_matrix(
+                (arrays["data"], arrays["indices"], arrays["indptr"]),
+                shape=tuple(metadata["shape"]),
+            )
+            doc_norms = arrays["doc_norms"]
+            idf = arrays["idf"]
+        return cls(
+            doc_ids=metadata["doc_ids"],
+            terms=_decode_terms(metadata["terms"]),
+            matrix=matrix,
+            doc_norms=doc_norms,
+            idf=idf,
+            smooth_idf=metadata["smooth_idf"],
+            num_resources=metadata["num_resources"],
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _weight_query(
+        self, bag: Mapping[Hashable, float]
+    ) -> Tuple[Dict[int, float], float]:
+        """Eq. 1-2 weighting of a query against the frozen vocabulary.
+
+        Returns ``(column -> weight, out_of_vocabulary_norm_sq)``; the second
+        value carries the squared weight mass of terms outside the vocabulary
+        (nonzero only under idf smoothing), which must still count towards
+        the query norm for parity with the dict-loop cosine.
+        """
+        total = float(sum(count for count in bag.values() if count > 0))
+        if total <= 0.0:
+            return {}, 0.0
+        weights: Dict[int, float] = {}
+        out_of_vocab_sq = 0.0
+        for term, count in bag.items():
+            if count <= 0:
+                continue
+            tf = float(count) / total
+            column = self._term_index.get(term)
+            if column is None:
+                weight = tf * self._unknown_idf
+                out_of_vocab_sq += weight * weight
+                continue
+            weight = tf * float(self._idf[column])
+            if weight != 0.0:
+                weights[column] = weight
+        return weights, out_of_vocab_sq
+
+
+def _encode_terms(terms: Sequence[Hashable]) -> Dict[str, object]:
+    """JSON-encode the vocabulary, preserving int/str term types."""
+    if all(isinstance(term, (int, np.integer)) for term in terms):
+        return {"kind": "int", "values": [int(term) for term in terms]}
+    if all(isinstance(term, str) for term in terms):
+        return {"kind": "str", "values": list(terms)}
+    raise ConfigurationError(
+        "only pure int (concept ids) or pure str (tag) vocabularies "
+        "can be persisted"
+    )
+
+
+def _decode_terms(encoded: Mapping[str, object]) -> List[Hashable]:
+    kind = encoded.get("kind")
+    values = encoded.get("values")
+    if kind == "int":
+        return [int(value) for value in values]  # type: ignore[union-attr]
+    if kind == "str":
+        return [str(value) for value in values]  # type: ignore[union-attr]
+    raise ConfigurationError(f"unknown vocabulary encoding {kind!r}")

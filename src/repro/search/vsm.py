@@ -17,16 +17,19 @@ exact same code path, which keeps the comparison fair.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Mapping, NamedTuple, Optional, Tuple
 
 from repro.search.inverted_index import InvertedIndex
 from repro.utils.errors import ConfigurationError, NotFittedError
 
 
-@dataclass(frozen=True)
-class RankedResult:
-    """One entry of a ranked result list."""
+class RankedResult(NamedTuple):
+    """One entry of a ranked result list.
+
+    A ``NamedTuple`` rather than a dataclass: result lists are built in the
+    innermost loop of batched ranking, where tuple construction is several
+    times cheaper than a frozen-dataclass ``__init__``.
+    """
 
     resource: str
     score: float
@@ -82,6 +85,20 @@ class ConceptVectorSpace:
     @property
     def vocabulary_size(self) -> int:
         return len(self._idf)
+
+    @property
+    def smooth_idf(self) -> bool:
+        return self._smooth_idf
+
+    def terms(self) -> Tuple[Hashable, ...]:
+        """The corpus vocabulary in a stable (fit-time) order."""
+        return tuple(self._idf)
+
+    def documents(self) -> List[str]:
+        """Ids of all indexed resources."""
+        self._require_fitted()
+        assert self._index is not None
+        return list(self._index.documents())
 
     def idf(self, term: Hashable) -> float:
         """The idf of ``term`` (0 for unseen terms)."""

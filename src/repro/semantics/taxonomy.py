@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.datasets.vocabulary import Vocabulary
 from repro.utils.errors import ConfigurationError

@@ -14,7 +14,7 @@ representations used downstream:
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 import scipy.sparse as sp

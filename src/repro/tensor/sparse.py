@@ -13,7 +13,7 @@ the handful of operations CubeLSI needs:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence, Tuple
+from typing import Iterable, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp

@@ -1,0 +1,263 @@
+"""Parity and persistence tests for the compiled matrix concept space.
+
+The dict-loop :class:`ConceptVectorSpace` is the reference implementation;
+the CSR-compiled :class:`MatrixConceptSpace` must reproduce its scores and
+its exact ordering (descending score, ties by ascending resource id) within
+1e-9.  Persistence must round-trip through ``.npz`` + JSON, including into a
+fresh Python process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.baselines.freq import FreqRanker
+from repro.core.concepts import identity_concept_model
+from repro.core.pipeline import CubeLSIPipeline, OfflineIndex
+from repro.search.engine import SearchEngine
+from repro.search.matrix_space import MatrixConceptSpace, select_top_k
+from repro.search.vsm import ConceptVectorSpace
+from repro.utils.errors import ConfigurationError, NotFittedError
+
+SRC_DIR = Path(__file__).resolve().parents[1] / "src"
+
+
+def random_bags(rng, num_resources, vocabulary, max_terms=6, max_count=5):
+    """Random ``resource -> {term -> count}`` bags over ``vocabulary``."""
+    bags = {}
+    for index in range(num_resources):
+        size = int(rng.integers(1, max_terms + 1))
+        terms = rng.choice(len(vocabulary), size=size, replace=False)
+        bags[f"r{index:04d}"] = {
+            vocabulary[term]: int(rng.integers(1, max_count + 1)) for term in terms
+        }
+    return bags
+
+
+def assert_parity(reference, compiled, tol=1e-9):
+    """Assert two ranked result lists agree in ordering and scores."""
+    assert [r.resource for r in reference] == [r.resource for r in compiled]
+    for expected, got in zip(reference, compiled):
+        assert got.score == pytest.approx(expected.score, abs=tol)
+        assert got.rank == expected.rank
+
+
+class TestSelectTopK:
+    def test_drops_non_positive_scores(self):
+        positions = np.array([0, 1, 2])
+        scores = np.array([0.0, 0.5, -1.0])
+        assert list(select_top_k(positions, scores, None)) == [1]
+
+    def test_boundary_ties_prefer_lower_positions(self):
+        positions = np.array([5, 1, 3, 2])
+        scores = np.array([0.5, 0.5, 0.9, 0.5])
+        # top-2: the 0.9 entry, then among the three tied 0.5 entries the
+        # one with the smallest position (1).
+        selected = select_top_k(positions, scores, 2)
+        assert list(positions[selected]) == [3, 1]
+
+    def test_top_k_larger_than_candidates(self):
+        positions = np.array([0, 1])
+        scores = np.array([0.2, 0.4])
+        assert list(positions[select_top_k(positions, scores, 10)]) == [1, 0]
+
+    def test_empty_input(self):
+        empty = np.array([], dtype=np.int64)
+        assert select_top_k(empty, np.array([]), 3).size == 0
+
+
+class TestRandomParity:
+    @pytest.mark.parametrize("smooth_idf", [False, True])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_rank_parity_on_random_corpora(self, smooth_idf, seed):
+        rng = np.random.default_rng(seed)
+        vocabulary = [f"t{i}" for i in range(40)]
+        bags = random_bags(rng, num_resources=120, vocabulary=vocabulary)
+        reference = ConceptVectorSpace(smooth_idf=smooth_idf).fit(bags)
+        compiled = MatrixConceptSpace.compile(reference)
+
+        queries = []
+        for _ in range(25):
+            size = int(rng.integers(1, 5))
+            terms = rng.choice(len(vocabulary), size=size, replace=False)
+            query = {vocabulary[t]: int(rng.integers(1, 4)) for t in terms}
+            if rng.random() < 0.3:
+                query["unseen-term"] = 1  # out-of-vocabulary mass
+            queries.append(query)
+        queries.append({})  # empty bag
+        queries.append({"only-unseen": 2.0})
+
+        for top_k in (None, 1, 7, 1000):
+            batched = compiled.rank_batch(queries, top_k=top_k)
+            assert len(batched) == len(queries)
+            for query, results in zip(queries, batched):
+                assert_parity(reference.rank(query, top_k=top_k), results)
+                assert_parity(results, compiled.rank(query, top_k=top_k))
+
+    def test_zero_and_negative_counts_are_ignored(self):
+        bags = {"r1": {"a": 2, "b": 1}, "r2": {"b": 3}, "r3": {"a": 1}}
+        reference = ConceptVectorSpace().fit(bags)
+        compiled = MatrixConceptSpace.compile(reference)
+        query = {"a": 1.0, "b": 0.0, "c": -2.0}
+        assert_parity(reference.rank(query), compiled.rank(query))
+
+    def test_zero_norm_query_yields_empty_not_nan(self):
+        bags = {"r1": {"common": 1}, "r2": {"common": 2, "rare": 1}}
+        compiled = MatrixConceptSpace.compile(ConceptVectorSpace().fit(bags))
+        # "common" appears everywhere -> idf 0 -> zero query norm.
+        assert compiled.rank({"common": 3.0}) == []
+        assert compiled.rank_batch([{}, {"common": 1}]) == [[], []]
+
+    def test_invalid_top_k_rejected(self):
+        compiled = MatrixConceptSpace.compile(
+            ConceptVectorSpace().fit({"r1": {"a": 1}, "r2": {"b": 1}})
+        )
+        with pytest.raises(ConfigurationError):
+            compiled.rank({"a": 1}, top_k=0)
+
+    def test_cosine_matches_reference(self):
+        rng = np.random.default_rng(3)
+        vocabulary = [f"t{i}" for i in range(15)]
+        bags = random_bags(rng, num_resources=30, vocabulary=vocabulary)
+        reference = ConceptVectorSpace(smooth_idf=True).fit(bags)
+        compiled = MatrixConceptSpace.compile(reference)
+        query = {"t1": 2, "t5": 1, "unseen": 1}
+        for resource in list(bags)[:10]:
+            assert compiled.cosine(query, resource) == pytest.approx(
+                reference.cosine(query, resource), abs=1e-9
+            )
+        assert compiled.cosine(query, "missing-resource") == 0.0
+
+
+class TestEngineParity:
+    def test_matrix_engine_matches_dict_engine_on_folksonomy(self, small_cleaned):
+        model = identity_concept_model(small_cleaned.tags)
+        matrix_engine = SearchEngine.build(small_cleaned, model, name="m")
+        dict_engine = SearchEngine.build(
+            small_cleaned, model, name="d", matrix_backend=False
+        )
+        rng = np.random.default_rng(11)
+        tags = list(small_cleaned.tags)
+        queries = [
+            [tags[i] for i in rng.choice(len(tags), size=size, replace=False)]
+            for size in (1, 2, 3)
+            for _ in range(5)
+        ]
+        queries.append([])
+        queries.append(["no-such-tag"])
+        batched = matrix_engine.rank_batch(queries, top_k=20)
+        for tags_query, results in zip(queries, batched):
+            assert_parity(dict_engine.search(tags_query, top_k=20), results)
+
+    def test_freq_batch_matches_loop(self, small_cleaned):
+        ranker = FreqRanker().fit(small_cleaned)
+        rng = np.random.default_rng(23)
+        tags = list(small_cleaned.tags)
+        queries = [
+            [tags[i] for i in rng.choice(len(tags), size=2, replace=False)]
+            for _ in range(10)
+        ]
+        queries.append([])
+        batched = ranker.rank_batch(queries, top_k=10)
+        for tags_query, ranked in zip(queries, batched):
+            expected = ranker.rank(tags_query, top_k=10)
+            assert [r for r, _ in ranked] == [r for r, _ in expected]
+            for (_, got), (_, want) in zip(ranked, expected):
+                assert got == pytest.approx(want, abs=1e-9)
+
+
+class TestPersistence:
+    def build_space(self):
+        rng = np.random.default_rng(7)
+        vocabulary = [f"t{i}" for i in range(20)]
+        bags = random_bags(rng, num_resources=40, vocabulary=vocabulary)
+        return MatrixConceptSpace.compile(ConceptVectorSpace().fit(bags))
+
+    def test_matrix_space_round_trip(self, tmp_path):
+        space = self.build_space()
+        space.save(tmp_path)
+        loaded = MatrixConceptSpace.load(tmp_path)
+        assert loaded.doc_ids == space.doc_ids
+        assert loaded.terms == space.terms
+        assert loaded.nnz == space.nnz
+        query = {"t1": 1, "t3": 2}
+        assert_parity(space.rank(query), loaded.rank(query))
+        assert_parity(
+            space.rank_batch([query], top_k=5)[0],
+            loaded.rank_batch([query], top_k=5)[0],
+        )
+
+    def test_load_missing_directory_raises(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            MatrixConceptSpace.load(tmp_path / "nowhere")
+        with pytest.raises(NotFittedError):
+            SearchEngine.load(tmp_path / "nowhere")
+        with pytest.raises(NotFittedError):
+            OfflineIndex.load(tmp_path / "nowhere")
+
+    def test_engine_round_trip(self, small_cleaned, tmp_path):
+        model = identity_concept_model(small_cleaned.tags)
+        engine = SearchEngine.build(small_cleaned, model, name="bow")
+        engine.save(tmp_path)
+        loaded = SearchEngine.load(tmp_path)
+        assert loaded.name == "bow"
+        assert loaded.vector_space is None
+        assert loaded.concept_model.num_concepts == model.num_concepts
+        query = [small_cleaned.tags[0], small_cleaned.tags[1]]
+        assert_parity(engine.search(query, top_k=10), loaded.search(query, top_k=10))
+        assert loaded.score(query, engine.search(query)[0].resource) > 0.0
+        with pytest.raises(ConfigurationError):
+            loaded.explain(query, "r1")
+
+    def test_engine_without_matrix_backend_cannot_save(self, small_cleaned, tmp_path):
+        model = identity_concept_model(small_cleaned.tags)
+        engine = SearchEngine.build(
+            small_cleaned, model, name="d", matrix_backend=False
+        )
+        with pytest.raises(ConfigurationError):
+            engine.save(tmp_path)
+
+    def test_offline_index_round_trip_in_fresh_process(self, small_cleaned, tmp_path):
+        pipeline = CubeLSIPipeline(
+            reduction_ratios=(10.0, 3.0, 10.0), num_concepts=15, seed=0, min_rank=4
+        )
+        index = pipeline.fit(small_cleaned)
+        index.save(tmp_path)
+
+        query_tag = small_cleaned.tags[0]
+        expected = index.engine.search([query_tag], top_k=5)
+
+        loaded = OfflineIndex.load(tmp_path)
+        assert loaded.folksonomy is None and loaded.cubelsi_result is None
+        assert loaded.timings == pytest.approx(index.timings)
+        assert_parity(expected, loaded.engine.search([query_tag], top_k=5))
+
+        # The acceptance bar: load and query the saved index from a fresh
+        # interpreter with nothing but the on-disk artefacts.
+        script = (
+            "import json, sys\n"
+            "from repro.core.pipeline import OfflineIndex\n"
+            "index = OfflineIndex.load(sys.argv[1])\n"
+            "results = index.engine.search([sys.argv[2]], top_k=5)\n"
+            "print(json.dumps([[r.resource, r.score] for r in results]))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+        output = subprocess.run(
+            [sys.executable, "-c", script, str(tmp_path), query_tag],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        ).stdout
+        fresh = json.loads(output.strip().splitlines()[-1])
+        assert [resource for resource, _ in fresh] == [r.resource for r in expected]
+        for (_, score), result in zip(fresh, expected):
+            assert score == pytest.approx(result.score, abs=1e-9)

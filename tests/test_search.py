@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -182,15 +181,39 @@ class TestSearchEngine:
         )
         assert set(bow_engine.ranked_resources(["audio"])) == {"r1"}
 
-    def test_empty_query_raises(self):
+    def test_empty_query_returns_empty_ranking(self):
         _, engine = self.build_engine()
-        with pytest.raises(ConfigurationError):
-            engine.search([])
+        assert engine.search([]) == []
+        assert engine.query_concepts([]) == {}
+        assert engine.rank_batch([[], ["travel"]])[0] == []
 
     def test_unknown_tags_yield_empty_results(self):
         _, engine = self.build_engine()
         assert engine.search(["nonexistent"]) == []
         assert engine.score(["nonexistent"], "r1") == 0.0
+        assert engine.rank_batch([["nonexistent"]]) == [[]]
+
+    def test_rank_batch_matches_search(self):
+        _, engine = self.build_engine()
+        queries = [["audio"], ["travel", "vacation"], [], ["nonexistent"]]
+        batched = engine.rank_batch(queries, top_k=3)
+        for tags, results in zip(queries, batched):
+            assert results == engine.search(tags, top_k=3)
+
+    def test_dict_backend_engine_matches_matrix_engine(self):
+        folksonomy, engine = self.build_engine()
+        reference = SearchEngine.build(
+            folksonomy, engine.concept_model, name="ref", matrix_backend=False
+        )
+        assert reference.matrix_space is None
+        for tags in (["audio"], ["travel"], ["music", "vacation"]):
+            matrix_results = engine.search(tags)
+            dict_results = reference.search(tags)
+            assert [r.resource for r in matrix_results] == [
+                r.resource for r in dict_results
+            ]
+            for got, expected in zip(matrix_results, dict_results):
+                assert got.score == pytest.approx(expected.score, abs=1e-12)
 
     def test_score_and_explain(self):
         _, engine = self.build_engine()

@@ -8,7 +8,6 @@ import pytest
 from repro.datasets.vocabulary import build_default_vocabulary
 from repro.semantics.evaluation import evaluate_tag_distances, nominate_most_similar
 from repro.semantics.jcn import JcnDistance
-from repro.semantics.lexicon import build_lexicon
 from repro.semantics.taxonomy import Taxonomy, build_taxonomy_from_vocabulary
 from repro.utils.errors import ConfigurationError, DimensionError
 

@@ -14,7 +14,7 @@ from repro.core.distances import (
     sigma_from_singular_values,
     tag_distance_matrix,
 )
-from repro.tensor.dense import tensor_from_tucker, frobenius_norm
+from repro.tensor.dense import tensor_from_tucker
 from repro.tensor.hosvd import hosvd, resolve_ranks, truncated_svd
 from repro.tensor.sparse import SparseTensor
 from repro.tensor.tucker import tucker_als
