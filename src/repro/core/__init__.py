@@ -11,7 +11,10 @@
 * :mod:`repro.core.concepts` — concept distillation: clustering tags into
   concepts and mapping tag bags to concept bags.
 * :mod:`repro.core.pipeline` — the full offline component of Figure 1,
-  producing a searchable concept-space index.
+  producing a searchable concept-space index (with delta fold-in for
+  incremental serving).
+* :mod:`repro.core.snapshots` — epoch-stamped on-disk checkpoints of
+  serving indexes.
 """
 
 from repro.core.distances import (
@@ -30,6 +33,7 @@ from repro.core.concepts import (
     distill_concepts,
 )
 from repro.core.pipeline import CubeLSIPipeline, OfflineIndex
+from repro.core.snapshots import IndexSnapshotStore
 
 __all__ = [
     "sigma_from_core",
@@ -48,4 +52,5 @@ __all__ = [
     "distill_concepts",
     "CubeLSIPipeline",
     "OfflineIndex",
+    "IndexSnapshotStore",
 ]

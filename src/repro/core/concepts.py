@@ -9,6 +9,7 @@ vector-space ranking of Section III operates on.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -53,14 +54,19 @@ class ConceptModel:
     unknown_policy:
         What to do with tags not seen during distillation: ``"ignore"``
         (default, they contribute nothing) or ``"own-concept"`` (each unknown
-        tag becomes a singleton concept appended on demand — useful for BOW
-        style degenerate models).
+        tag becomes a singleton concept, allocated only by index-build code
+        paths that pass ``allocate=True`` — useful for BOW style degenerate
+        models).  Query-side lookups never allocate: a read must not change
+        ``num_concepts``, so serving stays deterministic and thread-safe.
     """
 
     concepts: List[Concept]
     tag_to_concept: Dict[str, int]
     unknown_policy: str = "ignore"
     _dynamic_concepts: Dict[str, int] = field(default_factory=dict, repr=False)
+    _allocation_lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.unknown_policy not in ("ignore", "own-concept"):
@@ -80,41 +86,68 @@ class ConceptModel:
         return len(self.concepts) + len(self._dynamic_concepts)
 
     @property
+    def num_persisted_concepts(self) -> int:
+        """The static (distilled) concept count, excluding dynamics.
+
+        This is the figure index metadata records and validates: it is
+        stable across the index's lifetime, whereas dynamic concepts come
+        and go with mutations (they do survive an engine save/load — their
+        columns live in the persisted count arrays — but their number is
+        not a property of the distilled model).
+        """
+        return len(self.concepts)
+
+    @property
     def num_tags(self) -> int:
         return len(self.tag_to_concept)
 
-    def concept_of(self, tag: str) -> Optional[int]:
-        """Concept id of ``tag`` or ``None`` if unknown (and policy ignores it)."""
+    def concept_of(self, tag: str, allocate: bool = False) -> Optional[int]:
+        """Concept id of ``tag`` or ``None`` if unknown (and policy ignores it).
+
+        Lookups are non-mutating by default: under ``"own-concept"`` an
+        unknown tag only receives a new dynamic concept when ``allocate=True``
+        (index-build time).  A mere query must never allocate — otherwise
+        ``num_concepts`` becomes query-order-dependent and concurrent reads
+        race on the dynamic table.
+        """
         if tag in self.tag_to_concept:
             return self.tag_to_concept[tag]
         if self.unknown_policy == "own-concept":
-            if tag not in self._dynamic_concepts:
-                self._dynamic_concepts[tag] = len(self.concepts) + len(
-                    self._dynamic_concepts
-                )
-            return self._dynamic_concepts[tag]
+            existing = self._dynamic_concepts.get(tag)
+            if existing is not None:
+                return existing
+            if allocate:
+                with self._allocation_lock:
+                    return self._dynamic_concepts.setdefault(
+                        tag, len(self.concepts) + len(self._dynamic_concepts)
+                    )
         return None
 
-    def concept_bag(self, tag_bag: Mapping[str, float]) -> Dict[int, float]:
+    def concept_bag(
+        self, tag_bag: Mapping[str, float], allocate: bool = False
+    ) -> Dict[int, float]:
         """Transform a bag of tags into a bag of concepts.
 
         Counts of tags mapping to the same concept are summed, exactly as the
         paper's ``c(l_i, r)`` counts concept occurrences in a resource.
+        ``allocate`` is forwarded to :meth:`concept_of` (index-build only).
         """
         bag: Dict[int, float] = {}
         for tag, count in tag_bag.items():
-            concept_id = self.concept_of(tag)
+            concept_id = self.concept_of(tag, allocate=allocate)
             if concept_id is None:
                 continue
             bag[concept_id] = bag.get(concept_id, 0.0) + float(count)
         return bag
 
-    def concept_bag_from_tags(self, tags: Iterable[str]) -> Dict[int, float]:
+    def concept_bag_from_tags(
+        self, tags: Iterable[str], allocate: bool = False
+    ) -> Dict[int, float]:
         """Concept bag of a plain tag list (each occurrence counts once)."""
         counts: Dict[str, float] = {}
         for tag in tags:
             counts[tag] = counts.get(tag, 0.0) + 1.0
-        return self.concept_bag(counts)
+        return self.concept_bag(counts, allocate=allocate)
 
     def members(self, concept_id: int) -> Tuple[str, ...]:
         """Tags belonging to a concept."""

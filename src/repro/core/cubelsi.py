@@ -16,8 +16,8 @@ shortcut actually stores.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -59,6 +59,9 @@ class CubeLSIResult:
     decomposition: TuckerDecomposition
     tags: Optional[Tuple[str, ...]]
     timings: dict
+    _label_index: Optional[Dict[str, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def num_tags(self) -> int:
@@ -73,10 +76,28 @@ class CubeLSIResult:
         return float(self.distances[self._index(tag_a), self._index(tag_b)])
 
     def nearest_tags(self, tag: Union[int, str], k: int = 5) -> list:
-        """The ``k`` semantically closest tags to ``tag`` (excluding itself)."""
+        """The ``k`` semantically closest tags to ``tag`` (excluding itself).
+
+        Selects the ``k + 1`` smallest distances with ``argpartition``
+        (O(|T|) instead of a full O(|T| log |T|) sort) and only sorts that
+        candidate set; ties break deterministically by ascending tag index.
+        """
         index = self._index(tag)
-        order = np.argsort(self.distances[index])
-        neighbours = [i for i in order if i != index][:k]
+        row = self.distances[index]
+        k = max(0, min(int(k), self.num_tags - 1))
+        if k == 0:
+            return []
+        candidate_count = min(k + 1, row.size)
+        if candidate_count < row.size:
+            head = np.argpartition(row, candidate_count - 1)[:candidate_count]
+            # Widen to the whole boundary tie group: argpartition keeps an
+            # arbitrary subset of equal distances at the cut, but the
+            # tie-break must see every tied index to pick the lowest ones.
+            head = np.flatnonzero(row <= row[head].max())
+        else:
+            head = np.arange(row.size)
+        ordered = head[np.lexsort((head, row[head]))]
+        neighbours = [int(i) for i in ordered if i != index][:k]
         if self.tags is None:
             return [(int(i), float(self.distances[index, i])) for i in neighbours]
         return [(self.tags[i], float(self.distances[index, i])) for i in neighbours]
@@ -116,9 +137,14 @@ class CubeLSIResult:
             raise ConfigurationError(
                 "this CubeLSI result has no tag labels; address tags by index"
             )
+        if self._label_index is None:
+            # Built once: tuple.index would rescan O(|T|) labels per lookup.
+            self._label_index = {
+                label: position for position, label in enumerate(self.tags)
+            }
         try:
-            return self.tags.index(tag)
-        except ValueError as exc:
+            return self._label_index[tag]
+        except KeyError as exc:
             raise KeyError(f"unknown tag {tag!r}") from exc
 
 

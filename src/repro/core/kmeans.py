@@ -101,15 +101,23 @@ class KMeans:
             distances = _squared_distances(points, centroids)
             labels = np.argmin(distances, axis=1)
             new_centroids = np.empty_like(centroids)
+            empty_clusters = []
             for cluster in range(k):
                 members = points[labels == cluster]
                 if members.shape[0] == 0:
-                    # Re-seed an empty cluster at the point farthest from its
-                    # assigned centroid, the standard fix that keeps k stable.
-                    farthest = int(np.argmax(np.min(distances, axis=1)))
-                    new_centroids[cluster] = points[farthest]
+                    empty_clusters.append(cluster)
                 else:
                     new_centroids[cluster] = members.mean(axis=0)
+            if empty_clusters:
+                # Re-seed empty clusters at the points farthest from their
+                # assigned centroids, the standard fix that keeps k stable.
+                # Each empty cluster takes the next-farthest *distinct* point:
+                # handing the same farthest point to every cluster that
+                # emptied in this iteration would leave duplicate centroids
+                # (and the clusters empty again on the next assignment).
+                farthest_first = np.argsort(-np.min(distances, axis=1), kind="stable")
+                for cluster, point in zip(empty_clusters, farthest_first):
+                    new_centroids[cluster] = points[point]
             movement = float(np.sum((new_centroids - centroids) ** 2))
             centroids = new_centroids
             if movement <= self._tol:

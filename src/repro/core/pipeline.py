@@ -23,16 +23,24 @@ from typing import TYPE_CHECKING, Dict, Optional, Sequence, Union
 from repro.core.concepts import ConceptModel, distill_concepts
 from repro.core.cubelsi import CubeLSI, CubeLSIResult
 from repro.tagging.folksonomy import Folksonomy
-from repro.utils.errors import ConfigurationError, NotFittedError
+from repro.tagging.io import read_assignments_tsv, write_assignments_tsv
+from repro.utils.errors import ConfigurationError, DataFormatError, NotFittedError
 from repro.utils.rng import SeedLike
 from repro.utils.timing import Stopwatch
 
 if TYPE_CHECKING:  # runtime import would close the core -> search -> core cycle
     from repro.search.engine import SearchEngine
+    from repro.search.incremental import StalenessReport
+    from repro.tagging.delta import FolksonomyDelta
 
 
 #: JSON file holding OfflineIndex-level metadata in a save directory.
 INDEX_METADATA_FILENAME = "offline_index.json"
+
+#: Assignment log written next to the engine when the folksonomy is saved
+#: along with the index (required for hot-applying deltas in a serving
+#: process).
+INDEX_ASSIGNMENTS_FILENAME = "assignments.tsv"
 
 
 @dataclass
@@ -59,18 +67,92 @@ class OfflineIndex:
         return float(sum(self.timings.values()))
 
     # ------------------------------------------------------------------ #
+    # Incremental updates (fold-in; the offline analysis stays frozen)
+    # ------------------------------------------------------------------ #
+    def apply_delta(self, delta: "FolksonomyDelta") -> "StalenessReport":
+        """Fold a folksonomy delta into the serving index without a refit.
+
+        The folksonomy is updated incrementally, each touched resource's new
+        bag of tags is mapped through the *frozen* concept model, and the
+        engine's backends fold the rows in (lazy idf/norm recompute).  The
+        expensive Tucker/clustering stages are untouched; the returned
+        staleness report says when the engine's refresh policy thinks a full
+        refit is due.
+
+        Requires the training folksonomy: either a freshly fitted index or
+        one saved with ``include_folksonomy=True`` and reloaded.
+        """
+        if self.folksonomy is None:
+            raise ConfigurationError(
+                "this index carries no folksonomy (it was loaded from a save "
+                "without one); save with include_folksonomy=True to enable "
+                "hot-applying deltas"
+            )
+        before = self.folksonomy
+        after = before.apply_delta(delta)
+
+        added: Dict[str, Dict[str, float]] = {}
+        updated: Dict[str, Dict[str, float]] = {}
+        removed = []
+        for resource in delta.touched_resources:
+            had = before.has_resource(resource)
+            has = after.has_resource(resource)
+            if has and not had:
+                added[resource] = dict(after.tag_bag(resource))
+            elif had and not has:
+                removed.append(resource)
+            elif had and has:
+                old_bag = before.tag_bag(resource)
+                new_bag = after.tag_bag(resource)
+                if old_bag != new_bag:
+                    updated[resource] = dict(new_bag)
+
+        report = self.engine.apply_mutations(
+            added=added, updated=updated, removed=removed
+        )
+        self.folksonomy = after
+        return report
+
+    # ------------------------------------------------------------------ #
     # Persistence (offline indexing and online serving as two processes)
     # ------------------------------------------------------------------ #
-    def save(self, directory: Union[str, Path]) -> Path:
-        """Write the serving artefacts (engine + metadata) to ``directory``."""
+    def save(
+        self, directory: Union[str, Path], include_folksonomy: bool = False
+    ) -> Path:
+        """Write the serving artefacts (engine + metadata) to ``directory``.
+
+        With ``include_folksonomy=True`` the assignment log is saved next to
+        the engine so that a serving process restoring the snapshot can keep
+        hot-applying deltas (at the cost of a larger artefact).
+
+        ``num_concepts`` records the *static* (distilled) concept count, the
+        figure that is stable across the index's lifetime — dynamic
+        (``own-concept``) concepts appear and disappear with mutations, so
+        recording them here made a reloaded index disagree with its own
+        metadata.
+        """
+        if include_folksonomy and self.folksonomy is None:
+            raise ConfigurationError(
+                "include_folksonomy=True but this index carries no folksonomy"
+            )
         path = Path(directory)
         path.mkdir(parents=True, exist_ok=True)
         self.engine.save(path)
         metadata = {
             "timings": {name: float(value) for name, value in self.timings.items()},
             "dataset_name": self.folksonomy.name if self.folksonomy else None,
-            "num_concepts": self.num_concepts,
+            "num_concepts": self.concept_model.num_persisted_concepts,
+            "epoch": self.engine.epoch,
+            "includes_folksonomy": bool(include_folksonomy and self.folksonomy),
         }
+        assignments_path = path / INDEX_ASSIGNMENTS_FILENAME
+        if include_folksonomy:
+            write_assignments_tsv(self.folksonomy.assignments, assignments_path)
+        elif assignments_path.exists():
+            # Overwriting a directory that previously included the
+            # folksonomy: a stale assignment log would pair the new engine
+            # with an outdated corpus on load.
+            assignments_path.unlink()
         (path / INDEX_METADATA_FILENAME).write_text(
             json.dumps(metadata), encoding="utf-8"
         )
@@ -78,7 +160,12 @@ class OfflineIndex:
 
     @classmethod
     def load(cls, directory: Union[str, Path]) -> "OfflineIndex":
-        """Restore a serving-ready index from :meth:`save` output."""
+        """Restore a serving-ready index from :meth:`save` output.
+
+        Validates that the engine's persisted concept model matches the
+        metadata's recorded ``num_concepts`` (guards against artefact drift
+        between the two files).
+        """
         path = Path(directory)
         metadata_path = path / INDEX_METADATA_FILENAME
         if not metadata_path.exists():
@@ -87,12 +174,28 @@ class OfflineIndex:
 
         metadata = json.loads(metadata_path.read_text(encoding="utf-8"))
         engine = SearchEngine.load(path)
+        recorded = metadata.get("num_concepts")
+        persisted = engine.concept_model.num_persisted_concepts
+        if recorded is not None and int(recorded) != persisted:
+            raise DataFormatError(
+                f"saved index metadata records {recorded} concepts but the "
+                f"persisted engine carries {persisted} static concepts; "
+                "the artefacts are inconsistent"
+            )
+        folksonomy = None
+        assignments_path = path / INDEX_ASSIGNMENTS_FILENAME
+        if metadata.get("includes_folksonomy") and assignments_path.exists():
+            folksonomy = Folksonomy(
+                read_assignments_tsv(assignments_path),
+                name=str(metadata.get("dataset_name") or "offline-index"),
+            )
         return cls(
             concept_model=engine.concept_model,
             engine=engine,
             timings={
                 name: float(value) for name, value in metadata["timings"].items()
             },
+            folksonomy=folksonomy,
         )
 
 

@@ -6,6 +6,8 @@
   workload, recording ranking quality and offline/online wall-clock times.
 * :mod:`repro.eval.reporting` — plain-text table and series rendering used
   by the experiment drivers and benchmarks to print paper-style output.
+* :mod:`repro.eval.incremental` — replay of folksonomy delta streams
+  against a serving index (the streaming-update workload).
 """
 
 from repro.eval.ndcg import (
@@ -23,6 +25,11 @@ from repro.eval.harness import (
     RankingExperiment,
 )
 from repro.eval.reporting import format_table, format_series, format_float
+from repro.eval.incremental import (
+    DeltaReplayReport,
+    DeltaReplayStep,
+    replay_deltas,
+)
 
 __all__ = [
     "dcg_at",
@@ -38,4 +45,7 @@ __all__ = [
     "format_table",
     "format_series",
     "format_float",
+    "DeltaReplayReport",
+    "DeltaReplayStep",
+    "replay_deltas",
 ]

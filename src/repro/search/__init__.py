@@ -14,11 +14,14 @@ dot products (Table VI).
   top-k scoring with one sparse matmul, plus ``.npz``/JSON persistence.
 * :mod:`repro.search.engine` — the user-facing query interface combining a
   concept model, the backends and the ranking.
+* :mod:`repro.search.incremental` — staleness accounting for incrementally
+  updated engines (epochs, refresh policy, fold-in drift reports).
 """
 
 from repro.search.vsm import ConceptVectorSpace, RankedResult
 from repro.search.inverted_index import InvertedIndex
 from repro.search.matrix_space import MatrixConceptSpace, select_top_k
+from repro.search.incremental import RefreshPolicy, StalenessReport
 from repro.search.engine import SearchEngine
 
 __all__ = [
@@ -27,5 +30,7 @@ __all__ = [
     "InvertedIndex",
     "MatrixConceptSpace",
     "select_top_k",
+    "RefreshPolicy",
+    "StalenessReport",
     "SearchEngine",
 ]

@@ -23,9 +23,10 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.core.concepts import Concept, ConceptModel
+from repro.search.incremental import RefreshPolicy, StalenessReport
 from repro.search.matrix_space import MatrixConceptSpace
 from repro.search.vsm import ConceptVectorSpace, RankedResult
 from repro.tagging.folksonomy import Folksonomy
@@ -51,12 +52,24 @@ class SearchEngine:
     matrix_space:
         The compiled CSR backend; ``None`` disables batched scoring and
         falls back to the dict loops.
+    refresh_policy:
+        When accumulated incremental mutations make a full offline refit
+        advisable (see :mod:`repro.search.incremental`).
+    epoch:
+        Monotone mutation counter; bumped once per successful mutation
+        batch and persisted across save/load.
     """
 
     concept_model: ConceptModel
     vector_space: Optional[ConceptVectorSpace]
     name: str = "cubelsi"
     matrix_space: Optional[MatrixConceptSpace] = field(default=None)
+    refresh_policy: RefreshPolicy = field(default_factory=RefreshPolicy)
+    epoch: int = 0
+    _baseline_resources: Optional[int] = field(default=None, repr=False)
+    _resources_added: int = field(default=0, repr=False)
+    _resources_removed: int = field(default=0, repr=False)
+    _resources_updated: int = field(default=0, repr=False)
 
     @classmethod
     def build(
@@ -66,6 +79,7 @@ class SearchEngine:
         smooth_idf: bool = False,
         name: str = "cubelsi",
         matrix_backend: bool = True,
+        refresh_policy: Optional[RefreshPolicy] = None,
     ) -> "SearchEngine":
         """Build the engine by indexing every resource of ``folksonomy``.
 
@@ -77,7 +91,9 @@ class SearchEngine:
         resource_bags: Dict[str, Dict[int, float]] = {}
         for resource in folksonomy.resources:
             tag_bag = folksonomy.tag_bag(resource)
-            resource_bags[resource] = concept_model.concept_bag(tag_bag)
+            resource_bags[resource] = concept_model.concept_bag(
+                tag_bag, allocate=True
+            )
         vector_space = ConceptVectorSpace(smooth_idf=smooth_idf).fit(resource_bags)
         matrix_space = (
             MatrixConceptSpace.compile(vector_space) if matrix_backend else None
@@ -87,6 +103,8 @@ class SearchEngine:
             vector_space=vector_space,
             name=name,
             matrix_space=matrix_space,
+            refresh_policy=refresh_policy or RefreshPolicy(),
+            _baseline_resources=folksonomy.num_resources,
         )
 
     # ------------------------------------------------------------------ #
@@ -155,14 +173,18 @@ class SearchEngine:
         return [result.resource for result in self.search(query_tags, top_k=top_k)]
 
     def score(self, query_tags: Sequence[str], resource: str) -> float:
-        """Cosine similarity between a query and a single resource."""
+        """Cosine similarity between a query and a single resource.
+
+        Routes through the matrix backend when available (its post-mutation
+        refresh is one vectorized pass, where the dict mirror's is a full
+        Python re-fit); the mirror serves :meth:`explain` and parity tests.
+        """
         concept_bag = self.query_concepts(query_tags)
         if not concept_bag:
             return 0.0
-        if self.vector_space is not None:
-            return self.vector_space.cosine(concept_bag, resource)
-        assert self.matrix_space is not None
-        return self.matrix_space.cosine(concept_bag, resource)
+        if self.matrix_space is not None:
+            return self.matrix_space.cosine(concept_bag, resource)
+        return self._require_vector_space().cosine(concept_bag, resource)
 
     def explain(self, query_tags: Sequence[str], resource: str) -> Dict[str, object]:
         """A debugging breakdown of how a resource scored for a query."""
@@ -182,14 +204,169 @@ class SearchEngine:
         }
 
     # ------------------------------------------------------------------ #
+    # Incremental updates (fold-in through the frozen concept model)
+    # ------------------------------------------------------------------ #
+    def has_resource(self, resource: str) -> bool:
+        """Whether ``resource`` is currently indexed (pending ops included)."""
+        if self.matrix_space is not None:
+            return self.matrix_space.has_document(resource)
+        return self._require_vector_space().has_resource(resource)
+
+    @property
+    def num_indexed_resources(self) -> int:
+        """Resources currently indexed, pending mutations included.
+
+        Deliberately does *not* trigger the lazy refresh — staleness
+        accounting after a mutation must stay O(1).
+        """
+        if self.matrix_space is not None:
+            return self.matrix_space.pending_num_documents
+        return self._require_vector_space().pending_num_resources
+
+    def apply_mutations(
+        self,
+        added: Optional[Mapping[str, Mapping[str, float]]] = None,
+        updated: Optional[Mapping[str, Mapping[str, float]]] = None,
+        removed: Optional[Iterable[str]] = None,
+    ) -> StalenessReport:
+        """Apply one batch of resource mutations; bumps the epoch once.
+
+        All tag bags are mapped through the *frozen* concept model
+        (LSI-style fold-in) and pushed into every backend; idf and norms
+        recompute lazily on the next read.  Everything is validated before
+        anything is applied, so a rejected batch leaves the backends in
+        sync, and additions land before removals so a batch that swaps
+        most of the corpus never looks momentarily empty.
+        """
+        added = dict(added or {})
+        updated = dict(updated or {})
+        removed = list(dict.fromkeys(removed or []))
+
+        if self.matrix_space is not None and not self.matrix_space.is_mutable:
+            # Checked before anything (including dynamic-concept allocation)
+            # happens, so a rejected batch has zero side effects.
+            raise ConfigurationError(
+                "this engine's matrix backend carries no raw concept counts "
+                "(pre-v2 artefact) and cannot be mutated; rebuild the engine "
+                "or re-save the index with the current format"
+            )
+        overlapping = (set(added) & set(updated)) | (
+            (set(added) | set(updated)) & set(removed)
+        )
+        if overlapping:
+            raise ConfigurationError(
+                f"resources appear in multiple mutation buckets: "
+                f"{sorted(overlapping)[:3]}"
+            )
+        for resource in added:
+            if self.has_resource(resource):
+                raise ConfigurationError(
+                    f"resource {resource!r} is already indexed; update it instead"
+                )
+        for resource in list(updated) + removed:
+            if not self.has_resource(resource):
+                raise ConfigurationError(f"resource {resource!r} is not indexed")
+        if (
+            removed
+            and self.num_indexed_resources + len(added) - len(removed) < 1
+        ):
+            raise ConfigurationError(
+                "cannot remove every resource; rebuild the engine instead"
+            )
+        if not added and not updated and not removed:
+            return self.staleness()
+
+        added_bags = {
+            resource: self.concept_model.concept_bag(bag, allocate=True)
+            for resource, bag in added.items()
+        }
+        updated_bags = {
+            resource: self.concept_model.concept_bag(bag, allocate=True)
+            for resource, bag in updated.items()
+        }
+        if self.matrix_space is not None:
+            if added_bags:
+                self.matrix_space.add_documents(added_bags)
+            for resource, bag in updated_bags.items():
+                self.matrix_space.update_document(resource, bag)
+            if removed:
+                self.matrix_space.remove_documents(removed)
+        if self.vector_space is not None:
+            if added_bags:
+                self.vector_space.add_resources(added_bags)
+            for resource, bag in updated_bags.items():
+                self.vector_space.update_resource(resource, bag)
+            if removed:
+                self.vector_space.remove_resources(removed)
+        self.epoch += 1
+        self._resources_added += len(added_bags)
+        self._resources_updated += len(updated_bags)
+        self._resources_removed += len(removed)
+        return self.staleness()
+
+    def add_resources(
+        self, tag_bags: Mapping[str, Mapping[str, float]]
+    ) -> StalenessReport:
+        """Fold new resources into the index without an offline refit.
+
+        Raises if any resource is already indexed (use
+        :meth:`update_resource`).
+        """
+        return self.apply_mutations(added=tag_bags)
+
+    def remove_resources(self, resources: Iterable[str]) -> StalenessReport:
+        """Drop resources from every backend (lazily refreshed)."""
+        return self.apply_mutations(removed=resources)
+
+    def update_resource(
+        self, resource: str, tag_bag: Mapping[str, float]
+    ) -> StalenessReport:
+        """Replace one resource's tag bag in every backend."""
+        return self.apply_mutations(updated={resource: tag_bag})
+
+    def refresh(self) -> bool:
+        """Eagerly fold pending mutations into the backends; True if any."""
+        refreshed = False
+        if self.matrix_space is not None:
+            refreshed = self.matrix_space.refresh() or refreshed
+        if self.vector_space is not None:
+            refreshed = self.vector_space.refresh() or refreshed
+        return refreshed
+
+    def staleness(self) -> StalenessReport:
+        """How far the engine has drifted since its last full (re)fit."""
+        current = self.num_indexed_resources
+        baseline = (
+            self._baseline_resources
+            if self._baseline_resources is not None
+            else current
+        )
+        delta_ops = (
+            self._resources_added
+            + self._resources_removed
+            + self._resources_updated
+        )
+        return StalenessReport(
+            epoch=self.epoch,
+            resources_added=self._resources_added,
+            resources_removed=self._resources_removed,
+            resources_updated=self._resources_updated,
+            baseline_resources=baseline,
+            current_resources=current,
+            refit_due=self.refresh_policy.refit_due(delta_ops, baseline),
+        )
+
+    # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
     def save(self, directory: Union[str, Path]) -> Path:
         """Persist the engine (compiled backend + concept model) to a dir.
 
         Only the matrix backend is serialised — the dict-loop space is a
-        fit-time artefact.  Dynamic (``own-concept``) concepts allocated
-        after fitting are not persisted.
+        fit-time artefact.  Dynamic (``own-concept``) concepts travel with
+        the engine: their columns live in the persisted count arrays, so
+        dropping the tag → id map would let a restored serving process
+        reallocate a live column id to a different tag.
         """
         if self.matrix_space is None:
             raise ConfigurationError(
@@ -201,6 +378,17 @@ class SearchEngine:
         payload = {
             "name": self.name,
             "concept_model": _concept_model_to_json(self.concept_model),
+            "epoch": self.epoch,
+            "baseline_resources": self._baseline_resources,
+            "mutations": {
+                "added": self._resources_added,
+                "removed": self._resources_removed,
+                "updated": self._resources_updated,
+            },
+            "refresh_policy": {
+                "max_delta_fraction": self.refresh_policy.max_delta_fraction,
+                "max_delta_ops": self.refresh_policy.max_delta_ops,
+            },
         }
         (path / ENGINE_FILENAME).write_text(json.dumps(payload), encoding="utf-8")
         return path
@@ -213,11 +401,24 @@ class SearchEngine:
         if not engine_path.exists():
             raise NotFittedError(f"no saved engine under {path}")
         payload = json.loads(engine_path.read_text(encoding="utf-8"))
+        policy_payload = payload.get("refresh_policy") or {}
+        mutations = payload.get("mutations") or {}
         return cls(
             concept_model=_concept_model_from_json(payload["concept_model"]),
             vector_space=None,
             name=payload["name"],
             matrix_space=MatrixConceptSpace.load(path),
+            refresh_policy=RefreshPolicy(
+                max_delta_fraction=float(
+                    policy_payload.get("max_delta_fraction", 0.1)
+                ),
+                max_delta_ops=policy_payload.get("max_delta_ops"),
+            ),
+            epoch=int(payload.get("epoch", 0)),
+            _baseline_resources=payload.get("baseline_resources"),
+            _resources_added=int(mutations.get("added", 0)),
+            _resources_removed=int(mutations.get("removed", 0)),
+            _resources_updated=int(mutations.get("updated", 0)),
         )
 
     # ------------------------------------------------------------------ #
@@ -239,6 +440,7 @@ def _concept_model_to_json(model: ConceptModel) -> Dict[str, object]:
             {"id": concept.concept_id, "tags": list(concept.tags)}
             for concept in model.concepts
         ],
+        "dynamic_concepts": dict(model._dynamic_concepts),
     }
 
 
@@ -250,8 +452,13 @@ def _concept_model_from_json(payload: Dict[str, object]) -> ConceptModel:
     tag_to_concept = {
         tag: concept.concept_id for concept in concepts for tag in concept.tags
     }
+    dynamic = {
+        str(tag): int(concept_id)
+        for tag, concept_id in (payload.get("dynamic_concepts") or {}).items()
+    }
     return ConceptModel(
         concepts=concepts,
         tag_to_concept=tag_to_concept,
         unknown_policy=str(payload["unknown_policy"]),
+        _dynamic_concepts=dynamic,
     )

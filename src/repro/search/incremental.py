@@ -1,0 +1,120 @@
+"""Staleness accounting for incrementally updated engines.
+
+Fold-in updates keep online serving cheap: new resources are mapped through
+the *frozen* concept model without re-running the offline tensor analysis.
+The trade-off (well known from the LSI fold-in literature) is that the
+latent model itself slowly drifts away from the corpus it was fitted on.
+This module quantifies that drift:
+
+* every mutation of a :class:`~repro.search.engine.SearchEngine` bumps its
+  *epoch* and a set of staleness counters,
+* a :class:`RefreshPolicy` turns those counters into a *refit due* signal,
+* :class:`StalenessReport` is the snapshot handed to operators (and to the
+  versioned snapshot store, which records the epoch it checkpointed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RefreshPolicy:
+    """When does folded-in drift warrant a full offline refit?
+
+    Parameters
+    ----------
+    max_delta_fraction:
+        Refit once the resources added/removed/updated since the last full
+        fit exceed this fraction of the corpus size at fit time (default
+        10%, the usual fold-in rule of thumb).
+    max_delta_ops:
+        Optional absolute cap on mutated resources regardless of corpus
+        size; ``None`` disables it.
+    """
+
+    max_delta_fraction: float = 0.1
+    max_delta_ops: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_delta_fraction <= 0.0:
+            raise ConfigurationError(
+                f"max_delta_fraction must be positive, got {self.max_delta_fraction}"
+            )
+        if self.max_delta_ops is not None and self.max_delta_ops < 1:
+            raise ConfigurationError(
+                f"max_delta_ops must be >= 1 when given, got {self.max_delta_ops}"
+            )
+
+    def refit_due(self, delta_ops: int, baseline_resources: int) -> bool:
+        """Whether the accumulated drift crosses either threshold."""
+        if self.max_delta_ops is not None and delta_ops >= self.max_delta_ops:
+            return True
+        if baseline_resources <= 0:
+            return delta_ops > 0
+        return delta_ops / baseline_resources >= self.max_delta_fraction
+
+
+@dataclass(frozen=True)
+class StalenessReport:
+    """A snapshot of how far an engine has drifted from its last full fit.
+
+    Attributes
+    ----------
+    epoch:
+        Monotone mutation counter; bumped once per successful mutation
+        batch, persisted with the engine.
+    resources_added / resources_removed / resources_updated:
+        Resource-level mutation counts since the last full fit.
+    baseline_resources:
+        Corpus size when the concept model was last fitted.
+    current_resources:
+        Corpus size now.
+    refit_due:
+        The attached :class:`RefreshPolicy`'s verdict.
+    """
+
+    epoch: int
+    resources_added: int
+    resources_removed: int
+    resources_updated: int
+    baseline_resources: int
+    current_resources: int
+    refit_due: bool
+
+    @property
+    def delta_ops(self) -> int:
+        """Total mutated resources since the last full fit."""
+        return self.resources_added + self.resources_removed + self.resources_updated
+
+    @property
+    def delta_fraction(self) -> float:
+        """Mutated resources relative to the fit-time corpus size."""
+        if self.baseline_resources <= 0:
+            return float(self.delta_ops > 0)
+        return self.delta_ops / self.baseline_resources
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain dict view (used by persistence and reports)."""
+        return {
+            "epoch": self.epoch,
+            "resources_added": self.resources_added,
+            "resources_removed": self.resources_removed,
+            "resources_updated": self.resources_updated,
+            "baseline_resources": self.baseline_resources,
+            "current_resources": self.current_resources,
+            "delta_fraction": self.delta_fraction,
+            "refit_due": self.refit_due,
+        }
+
+    def summary(self) -> str:
+        """One line for logs: epoch, drift and the refit verdict."""
+        return (
+            f"epoch {self.epoch}: +{self.resources_added} "
+            f"-{self.resources_removed} ~{self.resources_updated} resources "
+            f"({self.delta_fraction:.1%} of the {self.baseline_resources} "
+            f"fitted) -> refit {'DUE' if self.refit_due else 'not due'}"
+        )

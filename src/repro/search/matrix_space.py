@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 from pathlib import Path
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -36,8 +37,9 @@ from repro.utils.errors import ConfigurationError, NotFittedError
 ARRAYS_FILENAME = "matrix_space.npz"
 METADATA_FILENAME = "matrix_space.json"
 
-#: Bumped whenever the on-disk layout changes incompatibly.
-FORMAT_VERSION = 1
+#: Bumped whenever the on-disk layout changes incompatibly.  Version 2 added
+#: the raw concept-count arrays that make loaded spaces mutable (fold-in).
+FORMAT_VERSION = 2
 
 #: Largest ``queries x documents`` cell count (~64 MB of float64 scores) for
 #: which batched ranking densifies the score matrix to rank all rows with a
@@ -106,6 +108,7 @@ class MatrixConceptSpace:
         idf: np.ndarray,
         smooth_idf: bool,
         num_resources: int,
+        counts: Optional[sp.csr_matrix] = None,
     ) -> None:
         self._doc_ids: Tuple[str, ...] = tuple(doc_ids)
         self._doc_index: Dict[str, int] = {
@@ -126,6 +129,22 @@ class MatrixConceptSpace:
                 f"matrix shape {matrix.shape} does not match "
                 f"{len(self._doc_ids)} documents x {len(self._terms)} terms"
             )
+        # Raw concept counts (same layout as the weight matrix).  They are
+        # what makes the space *mutable*: tf-idf weights can always be
+        # re-derived after documents fold in or out, including entries whose
+        # weight was zero (idf 0) at compile time and resurrects later.
+        self._counts = counts
+        if counts is not None and counts.shape != matrix.shape:
+            raise ConfigurationError(
+                f"counts shape {counts.shape} does not match weight matrix "
+                f"shape {matrix.shape}"
+            )
+        self._pending_upsert: Dict[str, Dict[Hashable, float]] = {}
+        self._pending_remove: set = set()
+        self._refresh_lock = threading.Lock()
+        self._set_unknown_idf()
+
+    def _set_unknown_idf(self) -> None:
         # idf of a term never seen in the corpus (affects the query norm
         # under smoothing, exactly as in the dict-loop weighting).
         if self._smooth_idf:
@@ -146,6 +165,7 @@ class MatrixConceptSpace:
         terms = space.terms()
         term_index = {term: column for column, term in enumerate(terms)}
         doc_ids = sorted(space.documents())
+        raw_bags = space.resource_bags()
 
         indptr = np.zeros(len(doc_ids) + 1, dtype=np.int64)
         columns: List[int] = []
@@ -177,6 +197,7 @@ class MatrixConceptSpace:
             idf=np.array([space.idf(term) for term in terms], dtype=np.float64),
             smooth_idf=space.smooth_idf,
             num_resources=space.num_resources,
+            counts=_counts_matrix(doc_ids, term_index, raw_bags),
         )
 
     # ------------------------------------------------------------------ #
@@ -184,14 +205,17 @@ class MatrixConceptSpace:
     # ------------------------------------------------------------------ #
     @property
     def num_resources(self) -> int:
+        self.refresh()
         return self._num_resources
 
     @property
     def num_documents(self) -> int:
+        self.refresh()
         return len(self._doc_ids)
 
     @property
     def vocabulary_size(self) -> int:
+        self.refresh()
         return len(self._terms)
 
     @property
@@ -200,24 +224,208 @@ class MatrixConceptSpace:
 
     @property
     def doc_ids(self) -> Tuple[str, ...]:
+        self.refresh()
         return self._doc_ids
 
     @property
     def terms(self) -> Tuple[Hashable, ...]:
+        self.refresh()
         return self._terms
 
     @property
     def nnz(self) -> int:
         """Stored weights — the memory figure Table VII cares about."""
+        self.refresh()
         return int(self._matrix.nnz)
 
     def idf(self, term: Hashable) -> float:
+        self.refresh()
         column = self._term_index.get(term)
         return float(self._idf[column]) if column is not None else 0.0
 
     def document_norm(self, doc_id: str) -> float:
+        self.refresh()
         row = self._doc_index.get(doc_id)
         return float(self._doc_norms[row]) if row is not None else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Incremental updates (fold-in without recompiling from a dict space)
+    # ------------------------------------------------------------------ #
+    @property
+    def is_mutable(self) -> bool:
+        """Whether the space carries the raw counts that allow mutation."""
+        return self._counts is not None
+
+    @property
+    def is_stale(self) -> bool:
+        """Whether mutations are pending the lazy idf/norm recompute."""
+        return bool(self._pending_upsert or self._pending_remove)
+
+    @property
+    def pending_mutations(self) -> int:
+        """Number of documents awaiting the next refresh."""
+        return len(self._pending_upsert) + len(self._pending_remove)
+
+    @property
+    def pending_num_documents(self) -> int:
+        """Document count once pending mutations land, *without* refreshing."""
+        appended = sum(
+            1 for doc_id in self._pending_upsert if doc_id not in self._doc_index
+        )
+        return len(self._doc_ids) - len(self._pending_remove) + appended
+
+    def _require_mutable(self) -> None:
+        if self._counts is None:
+            raise ConfigurationError(
+                "this space carries no raw concept counts and cannot be "
+                "mutated; recompile it from a ConceptVectorSpace or load a "
+                "format >= 2 save"
+            )
+
+    def has_document(self, doc_id: str) -> bool:
+        """Whether ``doc_id`` is indexed (pending mutations included)."""
+        if doc_id in self._pending_upsert:
+            return True
+        return doc_id in self._doc_index and doc_id not in self._pending_remove
+
+    def add_documents(
+        self, bags: Mapping[str, Mapping[Hashable, float]]
+    ) -> None:
+        """Append new documents; idf, weights and norms refresh lazily.
+
+        The rows are buffered and folded into the CSR arrays on the next
+        read (query, introspection or save), so a burst of additions pays
+        for one vectorized recompute instead of one per call.
+        """
+        self._require_mutable()
+        for doc_id in bags:
+            if self.has_document(doc_id):
+                raise ConfigurationError(
+                    f"document {doc_id!r} is already indexed; use update_document"
+                )
+        for doc_id, bag in bags.items():
+            self._pending_remove.discard(doc_id)
+            self._pending_upsert[doc_id] = {
+                term: float(c) for term, c in bag.items() if c > 0
+            }
+
+    def remove_documents(self, doc_ids: Sequence[str]) -> None:
+        """Drop documents (lazily applied, like :meth:`add_documents`)."""
+        self._require_mutable()
+        doc_ids = list(doc_ids)
+        for doc_id in doc_ids:
+            if not self.has_document(doc_id):
+                raise ConfigurationError(f"document {doc_id!r} is not indexed")
+        if self.pending_num_documents - len(set(doc_ids)) < 1:
+            raise ConfigurationError(
+                "cannot remove every document; rebuild the space instead"
+            )
+        for doc_id in doc_ids:
+            self._pending_upsert.pop(doc_id, None)
+            if doc_id in self._doc_index:
+                self._pending_remove.add(doc_id)
+
+    def update_document(
+        self, doc_id: str, bag: Mapping[Hashable, float]
+    ) -> None:
+        """Replace one document's raw counts (lazily applied)."""
+        self._require_mutable()
+        if not self.has_document(doc_id):
+            raise ConfigurationError(f"document {doc_id!r} is not indexed")
+        self._pending_upsert[doc_id] = {
+            term: float(c) for term, c in bag.items() if c > 0
+        }
+
+    def refresh(self) -> bool:
+        """Fold pending mutations into the CSR arrays; True if work was done.
+
+        Appends/drops count rows, re-sorts documents into ascending-id order
+        (the ranking tie-break), prunes vocabulary columns whose document
+        frequency dropped to zero, and re-derives idf, tf-idf weights and
+        document norms in one vectorized pass over the counts — exactly the
+        arrays a from-scratch compile over the mutated corpus would produce.
+
+        Mutations and the refresh they trigger are *writer-side* operations:
+        concurrent refreshes are serialised by a lock, but concurrent query
+        reads racing a refresh are not — a serving process should apply
+        mutations and call :meth:`refresh` from one writer, after which
+        concurrent reads of the (non-stale) space are safe.
+        """
+        if not self.is_stale:
+            return False
+        with self._refresh_lock:
+            return self._refresh_locked()
+
+    def _refresh_locked(self) -> bool:
+        if not self.is_stale:  # another thread refreshed while we waited
+            return False
+        assert self._counts is not None
+
+        terms: List[Hashable] = list(self._terms)
+        term_index: Dict[Hashable, int] = dict(self._term_index)
+        for bag in self._pending_upsert.values():
+            for term in bag:
+                if term not in term_index:
+                    term_index[term] = len(terms)
+                    terms.append(term)
+
+        dropped = self._pending_remove | set(self._pending_upsert)
+        keep_ids = [d for d in self._doc_ids if d not in dropped]
+        keep_rows = np.array(
+            [self._doc_index[d] for d in keep_ids], dtype=np.intp
+        )
+        old = self._counts[keep_rows] if keep_ids else sp.csr_matrix(
+            (0, len(self._terms)), dtype=np.float64
+        )
+        old.resize((old.shape[0], len(terms)))
+
+        new_ids = sorted(self._pending_upsert)
+        fresh = _counts_matrix(new_ids, term_index, self._pending_upsert)
+        combined_ids = keep_ids + new_ids
+        combined = sp.vstack([old, fresh], format="csr")
+
+        order = sorted(range(len(combined_ids)), key=combined_ids.__getitem__)
+        doc_ids = [combined_ids[i] for i in order]
+        counts = combined[np.asarray(order, dtype=np.intp)].tocsr()
+        counts.eliminate_zeros()
+
+        document_frequency = np.diff(counts.tocsc().indptr)
+        alive = document_frequency > 0
+        if not bool(alive.all()):
+            counts = counts[:, np.flatnonzero(alive)].tocsr()
+            terms = [term for term, keep in zip(terms, alive) if keep]
+            document_frequency = document_frequency[alive]
+            term_index = {term: column for column, term in enumerate(terms)}
+
+        num_docs = counts.shape[0]
+        row_sums = np.asarray(counts.sum(axis=1)).ravel()
+        safe_sums = np.where(row_sums > 0.0, row_sums, 1.0)
+        if self._smooth_idf:
+            idf = np.log((num_docs + 1.0) / (document_frequency + 1.0)) + 1.0
+        else:
+            idf = np.log(num_docs / document_frequency.astype(np.float64))
+        tf_data = counts.data / np.repeat(safe_sums, np.diff(counts.indptr))
+        weights = sp.csr_matrix(
+            (tf_data * idf[counts.indices], counts.indices.copy(), counts.indptr.copy()),
+            shape=counts.shape,
+        )
+        weights.eliminate_zeros()
+        norms = np.sqrt(np.asarray(weights.power(2).sum(axis=1)).ravel())
+
+        self._doc_ids = tuple(doc_ids)
+        self._doc_index = {doc_id: row for row, doc_id in enumerate(doc_ids)}
+        self._terms = tuple(terms)
+        self._term_index = term_index
+        self._counts = counts
+        self._matrix = weights
+        self._dense_matrix = None
+        self._doc_norms = norms
+        self._idf = idf.astype(np.float64)
+        self._num_resources = num_docs
+        self._set_unknown_idf()
+        self._pending_upsert = {}
+        self._pending_remove = set()
+        return True
 
     # ------------------------------------------------------------------ #
     # Ranking
@@ -244,6 +452,7 @@ class MatrixConceptSpace:
             raise ConfigurationError(f"top_k must be >= 1 when given, got {top_k}")
         if not query_bags:
             return []
+        self.refresh()
 
         rows: List[int] = []
         columns: List[int] = []
@@ -285,6 +494,7 @@ class MatrixConceptSpace:
 
     def cosine(self, query_bag: Mapping[Hashable, float], resource: str) -> float:
         """Cosine similarity between one query bag and one resource."""
+        self.refresh()
         row = self._doc_index.get(resource)
         if row is None:
             return 0.0
@@ -434,16 +644,21 @@ class MatrixConceptSpace:
     # ------------------------------------------------------------------ #
     def save(self, directory: Union[str, Path]) -> Path:
         """Write the arrays (``.npz``) and metadata (JSON) to ``directory``."""
+        self.refresh()
         path = Path(directory)
         path.mkdir(parents=True, exist_ok=True)
-        np.savez_compressed(
-            path / ARRAYS_FILENAME,
-            indptr=self._matrix.indptr.astype(np.int64),
-            indices=self._matrix.indices.astype(np.int64),
-            data=self._matrix.data.astype(np.float64),
-            doc_norms=self._doc_norms,
-            idf=self._idf,
-        )
+        arrays = {
+            "indptr": self._matrix.indptr.astype(np.int64),
+            "indices": self._matrix.indices.astype(np.int64),
+            "data": self._matrix.data.astype(np.float64),
+            "doc_norms": self._doc_norms,
+            "idf": self._idf,
+        }
+        if self._counts is not None:
+            arrays["counts_indptr"] = self._counts.indptr.astype(np.int64)
+            arrays["counts_indices"] = self._counts.indices.astype(np.int64)
+            arrays["counts_data"] = self._counts.data.astype(np.float64)
+        np.savez_compressed(path / ARRAYS_FILENAME, **arrays)
         metadata = {
             "format_version": FORMAT_VERSION,
             "doc_ids": list(self._doc_ids),
@@ -451,6 +666,7 @@ class MatrixConceptSpace:
             "smooth_idf": self._smooth_idf,
             "num_resources": self._num_resources,
             "shape": [len(self._doc_ids), len(self._terms)],
+            "mutable": self._counts is not None,
         }
         (path / METADATA_FILENAME).write_text(
             json.dumps(metadata), encoding="utf-8"
@@ -467,17 +683,28 @@ class MatrixConceptSpace:
             raise NotFittedError(f"no saved matrix space under {path}")
         metadata = json.loads(metadata_path.read_text(encoding="utf-8"))
         version = metadata.get("format_version")
-        if version != FORMAT_VERSION:
+        if version not in (1, FORMAT_VERSION):
             raise ConfigurationError(
                 f"unsupported matrix-space format version {version!r}"
             )
+        shape = tuple(metadata["shape"])
+        counts = None
         with np.load(arrays_path) as arrays:
             matrix = sp.csr_matrix(
                 (arrays["data"], arrays["indices"], arrays["indptr"]),
-                shape=tuple(metadata["shape"]),
+                shape=shape,
             )
             doc_norms = arrays["doc_norms"]
             idf = arrays["idf"]
+            if "counts_data" in arrays:
+                counts = sp.csr_matrix(
+                    (
+                        arrays["counts_data"],
+                        arrays["counts_indices"],
+                        arrays["counts_indptr"],
+                    ),
+                    shape=shape,
+                )
         return cls(
             doc_ids=metadata["doc_ids"],
             terms=_decode_terms(metadata["terms"]),
@@ -486,6 +713,7 @@ class MatrixConceptSpace:
             idf=idf,
             smooth_idf=metadata["smooth_idf"],
             num_resources=metadata["num_resources"],
+            counts=counts,
         )
 
     # ------------------------------------------------------------------ #
@@ -519,6 +747,34 @@ class MatrixConceptSpace:
             if weight != 0.0:
                 weights[column] = weight
         return weights, out_of_vocab_sq
+
+
+def _counts_matrix(
+    doc_ids: Sequence[str],
+    term_index: Mapping[Hashable, int],
+    bags: Mapping[str, Mapping[Hashable, float]],
+) -> sp.csr_matrix:
+    """Raw count CSR rows for ``doc_ids`` over the ``term_index`` vocabulary."""
+    indptr = np.zeros(len(doc_ids) + 1, dtype=np.int64)
+    columns: List[int] = []
+    values: List[float] = []
+    for row, doc_id in enumerate(doc_ids):
+        entries = sorted(
+            (term_index[term], float(count))
+            for term, count in bags.get(doc_id, {}).items()
+            if count > 0 and term in term_index
+        )
+        indptr[row + 1] = indptr[row] + len(entries)
+        columns.extend(column for column, _ in entries)
+        values.extend(count for _, count in entries)
+    return sp.csr_matrix(
+        (
+            np.asarray(values, dtype=np.float64),
+            np.asarray(columns, dtype=np.int64),
+            indptr,
+        ),
+        shape=(len(doc_ids), len(term_index)),
+    )
 
 
 def _encode_terms(terms: Sequence[Hashable]) -> Dict[str, object]:

@@ -9,6 +9,8 @@ called a *folksonomy*.
   and tag assignments.
 * :mod:`repro.tagging.folksonomy` — the in-memory triple store with interned
   ids, per-dimension indexes and tensor/matrix export.
+* :mod:`repro.tagging.delta` — incremental assignment deltas
+  (:class:`FolksonomyDelta`) applied without rebuilding the interning state.
 * :mod:`repro.tagging.cleaning` — the cleaning pipeline of Section VI-A
   (system-tag removal, lower-casing, iterative minimum-support filtering).
 * :mod:`repro.tagging.io` — TSV / JSON-lines readers and writers.
@@ -19,6 +21,7 @@ called a *folksonomy*.
 
 from repro.tagging.entities import TagAssignment, PostKey
 from repro.tagging.folksonomy import Folksonomy
+from repro.tagging.delta import FolksonomyDelta, FolksonomyDeltaBuilder
 from repro.tagging.cleaning import CleaningConfig, CleaningReport, clean_folksonomy
 from repro.tagging.stats import DatasetStatistics, compute_statistics
 from repro.tagging.io import (
@@ -33,6 +36,8 @@ __all__ = [
     "TagAssignment",
     "PostKey",
     "Folksonomy",
+    "FolksonomyDelta",
+    "FolksonomyDeltaBuilder",
     "CleaningConfig",
     "CleaningReport",
     "clean_folksonomy",

@@ -9,7 +9,7 @@ container interns them into dense integer ids when numeric work begins.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import FrozenSet, Iterable, Tuple, Union
 
 
 @dataclass(frozen=True, slots=True)
@@ -38,6 +38,32 @@ class TagAssignment:
         if not isinstance(other, TagAssignment):
             return NotImplemented
         return self.as_tuple() < other.as_tuple()
+
+
+#: What the normalisation helpers accept: an assignment value object or a
+#: plain ``(user, tag, resource)`` tuple of str()-coercible labels.
+AssignmentLike = Union["TagAssignment", Tuple[str, str, str]]
+
+
+def as_assignment(item: AssignmentLike) -> "TagAssignment":
+    """Coerce one assignment-like value into a :class:`TagAssignment`."""
+    if isinstance(item, TagAssignment):
+        return item
+    user, tag, resource = item
+    return TagAssignment(user=str(user), tag=str(tag), resource=str(resource))
+
+
+def normalize_assignments(
+    items: Iterable[AssignmentLike],
+) -> FrozenSet["TagAssignment"]:
+    """Coerce and deduplicate assignment-like values (set semantics of ``Y``).
+
+    The single definition of triple identity shared by
+    :class:`~repro.tagging.folksonomy.Folksonomy` and
+    :class:`~repro.tagging.delta.FolksonomyDelta` — the two must never
+    disagree on which triples are equal.
+    """
+    return frozenset(as_assignment(item) for item in items)
 
 
 @dataclass(frozen=True, slots=True)

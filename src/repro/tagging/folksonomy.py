@@ -13,15 +13,30 @@ representations used downstream:
 
 from __future__ import annotations
 
+import heapq
 from collections import Counter, defaultdict
-from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 import scipy.sparse as sp
 
-from repro.tagging.entities import TagAssignment
+from repro.tagging.entities import TagAssignment, normalize_assignments
 from repro.tensor.sparse import SparseTensor
 from repro.utils.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tagging.delta import FolksonomyDelta
 
 
 class Folksonomy:
@@ -41,17 +56,10 @@ class Folksonomy:
         assignments: Iterable,
         name: str = "folksonomy",
     ) -> None:
-        normalized: Set[TagAssignment] = set()
-        for item in assignments:
-            if isinstance(item, TagAssignment):
-                normalized.add(item)
-            else:
-                user, tag, resource = item
-                normalized.add(
-                    TagAssignment(user=str(user), tag=str(tag), resource=str(resource))
-                )
+        normalized = normalize_assignments(assignments)
         self._name = name
         self._assignments: Tuple[TagAssignment, ...] = tuple(sorted(normalized))
+        self._assignment_set: FrozenSet[TagAssignment] = normalized
 
         users = sorted({a.user for a in self._assignments})
         tags = sorted({a.tag for a in self._assignments})
@@ -71,6 +79,8 @@ class Folksonomy:
         assignment_count_by_user: Counter = Counter()
         assignment_count_by_tag: Counter = Counter()
         assignment_count_by_resource: Counter = Counter()
+        count_by_user_tag: Counter = Counter()
+        count_by_user_resource: Counter = Counter()
 
         for a in self._assignments:
             tags_by_resource[a.resource][a.tag] += 1
@@ -81,6 +91,8 @@ class Folksonomy:
             assignment_count_by_user[a.user] += 1
             assignment_count_by_tag[a.tag] += 1
             assignment_count_by_resource[a.resource] += 1
+            count_by_user_tag[(a.user, a.tag)] += 1
+            count_by_user_resource[(a.user, a.resource)] += 1
 
         self._tags_by_resource = {r: dict(c) for r, c in tags_by_resource.items()}
         self._users_by_tag_resource = {
@@ -94,6 +106,8 @@ class Folksonomy:
         self._assignment_count_by_user = dict(assignment_count_by_user)
         self._assignment_count_by_tag = dict(assignment_count_by_tag)
         self._assignment_count_by_resource = dict(assignment_count_by_resource)
+        self._count_by_user_tag = dict(count_by_user_tag)
+        self._count_by_user_resource = dict(count_by_user_resource)
 
     # ------------------------------------------------------------------ #
     # Basic accessors
@@ -146,9 +160,9 @@ class Folksonomy:
 
     def __contains__(self, item) -> bool:
         if isinstance(item, TagAssignment):
-            return item in set(self._assignments)
+            return item in self._assignment_set
         if isinstance(item, tuple) and len(item) == 3:
-            return TagAssignment(*map(str, item)) in set(self._assignments)
+            return TagAssignment(*map(str, item)) in self._assignment_set
         return False
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -212,6 +226,15 @@ class Folksonomy:
         """Bag-of-tags of a resource: tag -> occurrence count (user votes)."""
         return dict(self._tags_by_resource.get(resource, {}))
 
+    def assignments_of_resource(self, resource: str) -> Tuple[TagAssignment, ...]:
+        """All assignments annotating ``resource``, sorted."""
+        found = [
+            TagAssignment(user=user, tag=tag, resource=resource)
+            for tag in self._tags_by_resource.get(resource, {})
+            for user in self._users_by_tag_resource.get((tag, resource), ())
+        ]
+        return tuple(sorted(found))
+
     def assignment_counts(self) -> Tuple[Dict[str, int], Dict[str, int], Dict[str, int]]:
         """Per-user, per-tag and per-resource assignment counts."""
         return (
@@ -272,6 +295,131 @@ class Folksonomy:
             (values, (rows, cols)), shape=(self.num_users, self.num_tags)
         )
         return matrix.tocsr()
+
+    # ------------------------------------------------------------------ #
+    # Incremental updates
+    # ------------------------------------------------------------------ #
+    def apply_delta(
+        self, delta: "FolksonomyDelta", name: Optional[str] = None
+    ) -> "Folksonomy":
+        """A new folksonomy with ``delta`` applied, built incrementally.
+
+        Equivalent to ``Folksonomy(set(self.assignments) | added - removed)``
+        but O(|delta| + |touched labels|) for the interning and relationship
+        indexes: untouched index entries are shared with this instance (all
+        values are immutable), only entries reachable from the delta's
+        triples are recomputed.  The flat assignment tuple/set are re-merged
+        in one linear pass (no re-sorting, no per-assignment re-indexing).
+        Additions already present and removals already absent are ignored.
+        """
+        current = self._assignment_set
+        to_add = sorted(a for a in delta.added if a not in current)
+        to_remove = {a for a in delta.removed if a in current}
+        if not to_add and not to_remove:
+            return self if name is None or name == self._name else Folksonomy(
+                self._assignments, name=name
+            )
+
+        new = object.__new__(Folksonomy)
+        new._name = name or self._name
+        survivors: Iterable[TagAssignment] = (
+            (a for a in self._assignments if a not in to_remove)
+            if to_remove
+            else self._assignments
+        )
+        new._assignments = tuple(
+            heapq.merge(survivors, to_add) if to_add else survivors
+        )
+        new._assignment_set = current.difference(to_remove).union(to_add)
+
+        tags_by_resource = dict(self._tags_by_resource)
+        users_by_tag_resource = dict(self._users_by_tag_resource)
+        resources_by_tag = dict(self._resources_by_tag)
+        tags_by_user = dict(self._tags_by_user)
+        resources_by_user = dict(self._resources_by_user)
+        count_by_user = dict(self._assignment_count_by_user)
+        count_by_tag = dict(self._assignment_count_by_tag)
+        count_by_resource = dict(self._assignment_count_by_resource)
+        count_by_user_tag = dict(self._count_by_user_tag)
+        count_by_user_resource = dict(self._count_by_user_resource)
+
+        def bump(counter: Dict, key, step: int) -> int:
+            value = counter.get(key, 0) + step
+            if value:
+                counter[key] = value
+            else:
+                counter.pop(key, None)
+            return value
+
+        def patch_set(index: Dict, key, member, present: bool) -> None:
+            members = index.get(key, frozenset())
+            members = members | {member} if present else members - {member}
+            if members:
+                index[key] = members
+            else:
+                index.pop(key, None)
+
+        for a in to_remove:
+            bag = dict(tags_by_resource[a.resource])
+            if bag[a.tag] > 1:
+                bag[a.tag] -= 1
+            else:
+                del bag[a.tag]
+            if bag:
+                tags_by_resource[a.resource] = bag
+            else:
+                del tags_by_resource[a.resource]
+            patch_set(users_by_tag_resource, (a.tag, a.resource), a.user, False)
+            if (a.tag, a.resource) not in users_by_tag_resource:
+                patch_set(resources_by_tag, a.tag, a.resource, False)
+            if bump(count_by_user_tag, (a.user, a.tag), -1) == 0:
+                patch_set(tags_by_user, a.user, a.tag, False)
+            if bump(count_by_user_resource, (a.user, a.resource), -1) == 0:
+                patch_set(resources_by_user, a.user, a.resource, False)
+            bump(count_by_user, a.user, -1)
+            bump(count_by_tag, a.tag, -1)
+            bump(count_by_resource, a.resource, -1)
+
+        for a in to_add:
+            bag = dict(tags_by_resource.get(a.resource, {}))
+            bag[a.tag] = bag.get(a.tag, 0) + 1
+            tags_by_resource[a.resource] = bag
+            patch_set(users_by_tag_resource, (a.tag, a.resource), a.user, True)
+            patch_set(resources_by_tag, a.tag, a.resource, True)
+            if bump(count_by_user_tag, (a.user, a.tag), 1) == 1:
+                patch_set(tags_by_user, a.user, a.tag, True)
+            if bump(count_by_user_resource, (a.user, a.resource), 1) == 1:
+                patch_set(resources_by_user, a.user, a.resource, True)
+            bump(count_by_user, a.user, 1)
+            bump(count_by_tag, a.tag, 1)
+            bump(count_by_resource, a.resource, 1)
+
+        new._tags_by_resource = tags_by_resource
+        new._users_by_tag_resource = users_by_tag_resource
+        new._resources_by_tag = resources_by_tag
+        new._tags_by_user = tags_by_user
+        new._resources_by_user = resources_by_user
+        new._assignment_count_by_user = count_by_user
+        new._assignment_count_by_tag = count_by_tag
+        new._assignment_count_by_resource = count_by_resource
+        new._count_by_user_tag = count_by_user_tag
+        new._count_by_user_resource = count_by_user_resource
+
+        for labels, counts, vocab_attr, index_attr in (
+            (self._users, count_by_user, "_users", "_user_index"),
+            (self._tags, count_by_tag, "_tags", "_tag_index"),
+            (self._resources, count_by_resource, "_resources", "_resource_index"),
+        ):
+            if len(labels) == len(counts) and all(label in counts for label in labels):
+                setattr(new, vocab_attr, labels)
+                setattr(new, index_attr, getattr(self, index_attr))
+            else:
+                relabeled = tuple(sorted(counts))
+                setattr(new, vocab_attr, relabeled)
+                setattr(
+                    new, index_attr, {label: i for i, label in enumerate(relabeled)}
+                )
+        return new
 
     # ------------------------------------------------------------------ #
     # Transformations

@@ -89,6 +89,36 @@ class TestKMeans:
         assert result.labels.shape == (20,)
         assert set(result.labels) <= set(range(4))
 
+    def test_simultaneously_empty_clusters_reseed_at_distinct_points(self, monkeypatch):
+        """Regression: two clusters emptying in the same iteration used to be
+        re-seeded at the *same* farthest point, leaving duplicate centroids."""
+        # Four tight groups far apart; three initial centroids stacked on the
+        # first group and two placed far away from everything, so (at least)
+        # two centroids capture no points in the first assignment.
+        groups = [np.zeros(2), np.array([50.0, 0.0]), np.array([0.0, 50.0]),
+                  np.array([50.0, 50.0])]
+        rng = np.random.default_rng(3)
+        points = np.concatenate(
+            [center + 0.01 * rng.standard_normal((6, 2)) for center in groups]
+        )
+        rigged = np.array(
+            [points[0], points[1], points[2], [1e6, 1e6], [1e6, 1e6]]
+        )
+        monkeypatch.setattr(
+            KMeans,
+            "_kmeans_plus_plus",
+            staticmethod(lambda pts, k, rng_: rigged[:k].copy()),
+        )
+        # One Lloyd step: both far centroids empty out in the same iteration
+        # and must come back as two *distinct* reseeded points (the old code
+        # parked both on the single farthest point).
+        one_step = KMeans(num_clusters=5, num_init=1, max_iter=1, seed=0).fit(points)
+        assert len({tuple(np.round(c, 9)) for c in one_step.centroids}) == 5
+        # And with room to converge, all five clusters survive.
+        converged = KMeans(num_clusters=5, num_init=1, max_iter=50, seed=0).fit(points)
+        assert len({tuple(np.round(c, 6)) for c in converged.centroids}) == 5
+        assert set(converged.labels) == set(range(5))
+
 
 class TestSpectral:
     def test_affinity_matrix_properties(self, rng):
@@ -181,11 +211,36 @@ class TestConceptModel:
             tag_to_concept={"music": 0},
             unknown_policy="own-concept",
         )
-        bag = model.concept_bag_from_tags(["music", "mystery", "mystery"])
+        bag = model.concept_bag_from_tags(
+            ["music", "mystery", "mystery"], allocate=True
+        )
         assert bag[0] == 1.0
         dynamic_id = model.concept_of("mystery")
         assert bag[dynamic_id] == 2.0
         assert model.members(dynamic_id) == ("mystery",)
+
+    def test_query_side_lookups_never_allocate(self):
+        """Regression: a mere read used to allocate dynamic concepts, making
+        num_concepts query-order-dependent and serving thread-unsafe."""
+        model = ConceptModel(
+            concepts=[Concept(0, ("music",))],
+            tag_to_concept={"music": 0},
+            unknown_policy="own-concept",
+        )
+        before = model.num_concepts
+        assert model.concept_of("mystery") is None
+        assert model.concept_bag({"mystery": 3.0}) == {}
+        assert model.concept_bag_from_tags(["mystery", "enigma"]) == {}
+        assert model.num_concepts == before
+
+        # Index-build time allocates explicitly, and later reads see the
+        # allocated id without allocating further.
+        allocated = model.concept_of("mystery", allocate=True)
+        assert allocated == 1
+        assert model.num_concepts == before + 1
+        assert model.concept_of("mystery") == allocated
+        assert model.concept_bag({"mystery": 2.0}) == {allocated: 2.0}
+        assert model.num_concepts == before + 1
 
     def test_invalid_policy_and_mapping(self):
         with pytest.raises(ConfigurationError):
@@ -242,6 +297,68 @@ class TestCubeLSI:
         result = CubeLSI(ranks=(3, 3, 2), seed=0).fit(toy_folksonomy)
         nearest = result.nearest_tags("t1", k=1)
         assert nearest[0][0] == "t2"
+
+    def test_nearest_tags_matches_full_sort_reference(self, toy_cubelsi_result):
+        """Pin: the argpartition fast path returns exactly what an exhaustive
+        argsort over all |T| distances used to return."""
+        from repro.core.cubelsi import CubeLSIResult
+
+        rng = np.random.default_rng(17)
+        size = 40
+        # Distinct off-diagonal distances so the reference order is unique.
+        upper = np.triu(rng.permutation(size * size).reshape(size, size) + 1.0, 1)
+        distances = upper + upper.T
+        tags = tuple(f"tag{i:02d}" for i in range(size))
+        result = CubeLSIResult(
+            distances=distances,
+            decomposition=toy_cubelsi_result.decomposition,
+            tags=tags,
+            timings={},
+        )
+        for tag_index in (0, 7, size - 1):
+            row = distances[tag_index]
+            reference_order = [
+                int(i) for i in np.argsort(row, kind="stable") if i != tag_index
+            ]
+            for k in (1, 5, size - 1, size + 10):
+                expected = [
+                    (tags[i], float(row[i]))
+                    for i in reference_order[: min(k, size - 1)]
+                ]
+                assert result.nearest_tags(tags[tag_index], k=k) == expected
+                assert result.nearest_tags(tag_index, k=k) == [
+                    (tags[i], score) for (_, score), i in zip(
+                        expected, reference_order[: min(k, size - 1)]
+                    )
+                ]
+
+    def test_nearest_tags_boundary_ties_prefer_lowest_indices(
+        self, toy_cubelsi_result
+    ):
+        """Distances tied at the partition boundary must resolve to the
+        lowest tag indices, exactly as the full-sort reference would."""
+        from repro.core.cubelsi import CubeLSIResult
+
+        size = 12
+        distances = np.ones((size, size))
+        np.fill_diagonal(distances, 0.0)
+        distances[0, 1] = distances[1, 0] = 0.5  # one clear winner, rest tied
+        tags = tuple(f"tag{i:02d}" for i in range(size))
+        result = CubeLSIResult(
+            distances=distances,
+            decomposition=toy_cubelsi_result.decomposition,
+            tags=tags,
+            timings={},
+        )
+        nearest = result.nearest_tags("tag00", k=4)
+        assert [name for name, _ in nearest] == ["tag01", "tag02", "tag03", "tag04"]
+
+    def test_label_index_lookup(self, toy_folksonomy):
+        result = CubeLSI(ranks=(3, 3, 2), seed=0).fit(toy_folksonomy)
+        for position, tag in enumerate(result.tags):
+            assert result.distance(tag, tag) == result.distances[position, position]
+        with pytest.raises(KeyError):
+            result.nearest_tags("no-such-tag")
 
     def test_reduction_ratio_default_and_min_rank(self, small_cleaned):
         model = CubeLSI(min_rank=4)  # paper default ratio 50 on a tiny corpus

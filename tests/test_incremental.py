@@ -1,0 +1,607 @@
+"""The incremental serving path: deltas, fold-in, epochs and snapshots.
+
+The acceptance bar for every mutation API is *parity with a rebuild*: after
+``add_resources`` / ``remove_resources`` / ``update_resource`` the engine's
+rankings and scores must match a from-scratch ``SearchEngine.build`` over
+the mutated folksonomy (same frozen concept model) to 1e-9, on both the CSR
+matrix backend and the dict-loop mirror — including after a
+save → load → apply_delta round trip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.concepts import identity_concept_model
+from repro.core.pipeline import CubeLSIPipeline, OfflineIndex
+from repro.core.snapshots import IndexSnapshotStore
+from repro.eval.incremental import replay_deltas
+from repro.search.engine import SearchEngine
+from repro.search.incremental import RefreshPolicy
+from repro.tagging.delta import FolksonomyDelta, FolksonomyDeltaBuilder
+from repro.tagging.entities import TagAssignment
+from repro.tagging.folksonomy import Folksonomy
+from repro.utils.errors import ConfigurationError, DataFormatError
+
+
+def assert_ranking_parity(got_results, want_results, tol=1e-9, truncated=False):
+    """Two ranked lists agree to ``tol``: same scores position by position,
+    and the same resources in the same order except *within* a group of
+    scores tied at ``tol``, where summation-order noise between the
+    vectorized and dict-loop weight computations may legally permute the
+    tie-break.  With ``truncated=True`` (a top-k cut) the trailing tie group
+    may also differ in membership, because each engine picks its own
+    lowest-id members of the boundary tie.
+    """
+    assert len(got_results) == len(want_results)
+    position = 0
+    while position < len(want_results):
+        group_end = position
+        while (
+            group_end + 1 < len(want_results)
+            and abs(want_results[group_end + 1].score - want_results[position].score)
+            <= tol
+        ):
+            group_end += 1
+        for got, want in zip(
+            got_results[position : group_end + 1],
+            want_results[position : group_end + 1],
+        ):
+            assert got.score == pytest.approx(want.score, abs=tol)
+        boundary = truncated and group_end + 1 == len(want_results)
+        if not boundary:
+            assert {r.resource for r in got_results[position : group_end + 1]} == {
+                r.resource for r in want_results[position : group_end + 1]
+            }
+        position = group_end + 1
+
+
+def assert_engine_parity(incremental, rebuilt, queries, top_k=10, tol=1e-9):
+    """Rankings and scores of two engines agree on every query."""
+    got = incremental.rank_batch(queries, top_k=top_k)
+    want = rebuilt.rank_batch(queries, top_k=top_k)
+    for got_results, want_results in zip(got, want):
+        assert_ranking_parity(
+            got_results, want_results, tol=tol, truncated=top_k is not None
+        )
+
+
+def sample_queries(folksonomy, rng, count=25):
+    tags = list(folksonomy.tags)
+    queries = [
+        [tags[i] for i in rng.choice(len(tags), size=size, replace=False)]
+        for size in (1, 2, 3)
+        for _ in range(count // 3)
+    ]
+    queries.append([])
+    queries.append(["no-such-tag"])
+    return queries
+
+
+def build_mixed_delta(folksonomy, rng, num_new=3):
+    """A delta with additions (new + existing tags), removals and retags."""
+    tags = list(folksonomy.tags)
+    builder = FolksonomyDeltaBuilder()
+    for index in range(num_new):
+        chosen = rng.choice(len(tags), size=3, replace=False)
+        builder.add_resource(
+            f"delta-resource-{index}",
+            {f"delta-user-{index}": [tags[i] for i in chosen]},
+        )
+    builder.add_resource("delta-with-unknown-tag", {"delta-user-x": ["tag-not-in-model"]})
+    builder.remove_resource(folksonomy, folksonomy.resources[0])
+    retagged = folksonomy.resources[2]
+    builder.add("delta-user-y", tags[0], retagged)
+    for assignment in folksonomy.assignments_of_resource(folksonomy.resources[4])[:1]:
+        builder.remove(*assignment.as_tuple())
+    return builder.build()
+
+
+class TestFolksonomyDelta:
+    def test_normalisation_and_overlap_rejection(self):
+        delta = FolksonomyDelta(
+            added=[("u1", "t1", "r1"), TagAssignment("u1", "t1", "r1")],
+            removed=[("u2", "t2", "r2")],
+        )
+        assert len(delta.added) == 1
+        assert delta.touched_resources == ("r1", "r2")
+        assert len(delta) == 2 and bool(delta)
+        assert not FolksonomyDelta()
+        with pytest.raises(ConfigurationError):
+            FolksonomyDelta(added=[("u", "t", "r")], removed=[("u", "t", "r")])
+
+    def test_builder_last_call_wins_on_conflicts(self):
+        builder = FolksonomyDeltaBuilder()
+        builder.add("u", "t", "r").remove("u", "t", "r")
+        delta = builder.build()
+        assert delta.added == () and delta.removed == (TagAssignment("u", "t", "r"),)
+        builder.add("u", "t", "r")
+        delta = builder.build()
+        assert delta.added == (TagAssignment("u", "t", "r"),) and delta.removed == ()
+        assert len(builder) == 1
+
+    def test_diff_and_inverse(self, small_cleaned):
+        rng = np.random.default_rng(1)
+        delta = build_mixed_delta(small_cleaned, rng)
+        after = small_cleaned.apply_delta(delta)
+        recovered = FolksonomyDelta.diff(small_cleaned, after)
+        assert after.apply_delta(recovered.inverse()).assignments == (
+            small_cleaned.assignments
+        )
+
+    def test_apply_delta_matches_scratch_rebuild(self, small_cleaned):
+        rng = np.random.default_rng(2)
+        delta = build_mixed_delta(small_cleaned, rng)
+        incremental = small_cleaned.apply_delta(delta)
+        scratch = Folksonomy(
+            (set(small_cleaned.assignments) | set(delta.added))
+            - set(delta.removed),
+            name=small_cleaned.name,
+        )
+        assert incremental.assignments == scratch.assignments
+        assert incremental.users == scratch.users
+        assert incremental.tags == scratch.tags
+        assert incremental.resources == scratch.resources
+        for resource in scratch.resources:
+            assert incremental.tag_bag(resource) == scratch.tag_bag(resource)
+        counts = incremental.assignment_counts()
+        assert counts == scratch.assignment_counts()
+        assert (
+            incremental.to_tag_resource_matrix()
+            != scratch.to_tag_resource_matrix()
+        ).nnz == 0
+
+    def test_apply_noop_delta_returns_self(self, small_cleaned):
+        noop = FolksonomyDelta(
+            removed=[("ghost-user", "ghost-tag", "ghost-resource")]
+        )
+        assert small_cleaned.apply_delta(noop) is small_cleaned
+
+
+class TestEngineMutationParity:
+    @pytest.fixture(scope="class")
+    def concept_model(self, small_cleaned):
+        return identity_concept_model(small_cleaned.tags)
+
+    @pytest.mark.parametrize("matrix_backend", [True, False])
+    @pytest.mark.parametrize("smooth_idf", [False, True])
+    def test_mutations_match_full_rebuild(
+        self, small_cleaned, concept_model, matrix_backend, smooth_idf
+    ):
+        rng = np.random.default_rng(3)
+        engine = SearchEngine.build(
+            small_cleaned,
+            concept_model,
+            smooth_idf=smooth_idf,
+            name="inc",
+            matrix_backend=matrix_backend,
+        )
+        delta = build_mixed_delta(small_cleaned, rng)
+        mutated = small_cleaned.apply_delta(delta)
+
+        added, removed, updated = {}, [], {}
+        for resource in delta.touched_resources:
+            had = small_cleaned.has_resource(resource)
+            has = mutated.has_resource(resource)
+            if has and not had:
+                added[resource] = mutated.tag_bag(resource)
+            elif had and not has:
+                removed.append(resource)
+            elif small_cleaned.tag_bag(resource) != mutated.tag_bag(resource):
+                updated[resource] = mutated.tag_bag(resource)
+
+        engine.remove_resources(removed)
+        for resource, bag in updated.items():
+            engine.update_resource(resource, bag)
+        report = engine.add_resources(added)
+        assert report.epoch == 2 + len(updated)
+        assert report.resources_added == len(added)
+        assert report.resources_removed == len(removed)
+
+        rebuilt = SearchEngine.build(
+            mutated,
+            concept_model,
+            smooth_idf=smooth_idf,
+            name="rebuild",
+            matrix_backend=matrix_backend,
+        )
+        queries = sample_queries(mutated, rng)
+        assert_engine_parity(engine, rebuilt, queries)
+        # single-query and score paths agree as well
+        for query in queries[:5]:
+            results = rebuilt.search(query, top_k=5)
+            for result in results:
+                assert engine.score(query, result.resource) == pytest.approx(
+                    result.score, abs=1e-9
+                )
+
+    def test_both_backends_stay_in_sync(self, small_cleaned, concept_model):
+        rng = np.random.default_rng(4)
+        engine = SearchEngine.build(small_cleaned, concept_model, name="dual")
+        delta = build_mixed_delta(small_cleaned, rng)
+        mutated = small_cleaned.apply_delta(delta)
+        for resource in delta.touched_resources:
+            if not mutated.has_resource(resource):
+                engine.remove_resources([resource])
+            elif not small_cleaned.has_resource(resource):
+                engine.add_resources({resource: mutated.tag_bag(resource)})
+            else:
+                engine.update_resource(resource, mutated.tag_bag(resource))
+        assert engine.vector_space is not None and engine.matrix_space is not None
+        for query in sample_queries(mutated, rng)[:10]:
+            bag = engine.query_concepts(query)
+            if not bag:
+                continue
+            matrix_results = engine.matrix_space.rank(bag, top_k=10)
+            dict_results = engine.vector_space.rank(bag, top_k=10)
+            assert [r.resource for r in matrix_results] == [
+                r.resource for r in dict_results
+            ]
+            for got, want in zip(matrix_results, dict_results):
+                assert got.score == pytest.approx(want.score, abs=1e-9)
+
+    def test_mutation_validation(self, small_cleaned, concept_model):
+        engine = SearchEngine.build(small_cleaned, concept_model, name="v")
+        existing = small_cleaned.resources[0]
+        with pytest.raises(ConfigurationError):
+            engine.add_resources({existing: {"a": 1}})
+        with pytest.raises(ConfigurationError):
+            engine.remove_resources(["missing-resource"])
+        with pytest.raises(ConfigurationError):
+            engine.update_resource("missing-resource", {"a": 1})
+        with pytest.raises(ConfigurationError):
+            engine.remove_resources(list(small_cleaned.resources))
+        # failed calls must not bump the epoch or desync the backends
+        assert engine.epoch == 0
+        assert engine.num_indexed_resources == small_cleaned.num_resources
+
+    def test_staleness_counters_and_policy(self, small_cleaned, concept_model):
+        engine = SearchEngine.build(
+            small_cleaned,
+            concept_model,
+            name="s",
+            refresh_policy=RefreshPolicy(max_delta_ops=2),
+        )
+        report = engine.staleness()
+        assert report.epoch == 0 and not report.refit_due
+        assert report.baseline_resources == small_cleaned.num_resources
+        engine.add_resources({"fresh-1": {small_cleaned.tags[0]: 1}})
+        report = engine.add_resources({"fresh-2": {small_cleaned.tags[1]: 2}})
+        assert report.delta_ops == 2
+        assert report.refit_due  # max_delta_ops=2 reached
+        assert "refit DUE" in report.summary()
+        assert report.as_dict()["resources_added"] == 2
+
+    def test_lazy_refresh_is_deferred_until_read(self, small_cleaned, concept_model):
+        engine = SearchEngine.build(small_cleaned, concept_model, name="lazy")
+        engine.add_resources({"lazy-r": {small_cleaned.tags[0]: 1}})
+        assert engine.matrix_space.is_stale
+        assert engine.vector_space.is_stale
+        assert engine.refresh()
+        assert not engine.matrix_space.is_stale
+        assert not engine.vector_space.is_stale
+        assert not engine.refresh()
+
+    def test_immutable_backend_rejects_batch_without_side_effects(
+        self, small_cleaned, tmp_path
+    ):
+        """A pre-v2 artefact (no raw counts) must reject mutations *before*
+        dynamic concepts are allocated in the shared model."""
+        import json
+
+        import numpy as np
+
+        from repro.core.concepts import Concept, ConceptModel
+        from repro.search.matrix_space import ARRAYS_FILENAME, METADATA_FILENAME
+
+        tags = list(small_cleaned.tags)
+        model = ConceptModel(
+            concepts=[Concept(0, tuple(sorted(tags)))],
+            tag_to_concept={tag: 0 for tag in tags},
+            unknown_policy="own-concept",
+        )
+        SearchEngine.build(small_cleaned, model, name="v1").save(tmp_path)
+        # Strip the count arrays and stamp the save as format v1.
+        arrays_path = tmp_path / ARRAYS_FILENAME
+        arrays = dict(np.load(arrays_path))
+        for key in [k for k in arrays if k.startswith("counts_")]:
+            del arrays[key]
+        np.savez_compressed(arrays_path, **arrays)
+        metadata_path = tmp_path / METADATA_FILENAME
+        metadata = json.loads(metadata_path.read_text(encoding="utf-8"))
+        metadata["format_version"] = 1
+        metadata.pop("mutable", None)
+        metadata_path.write_text(json.dumps(metadata), encoding="utf-8")
+
+        loaded = SearchEngine.load(tmp_path)
+        assert not loaded.matrix_space.is_mutable
+        before = loaded.concept_model.num_concepts
+        with pytest.raises(ConfigurationError):
+            loaded.add_resources({"r-new": {"tag-unseen-anywhere": 1.0}})
+        assert loaded.concept_model.num_concepts == before  # no phantom ids
+        assert loaded.epoch == 0
+
+    def test_refresh_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            RefreshPolicy(max_delta_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            RefreshPolicy(max_delta_ops=0)
+
+
+class TestOfflineIndexDelta:
+    @pytest.fixture(scope="class")
+    def fitted_index(self, small_cleaned):
+        pipeline = CubeLSIPipeline(
+            reduction_ratios=(10.0, 3.0, 10.0), num_concepts=12, seed=0, min_rank=4
+        )
+        return pipeline.fit(small_cleaned)
+
+    def test_apply_delta_matches_rebuild_on_frozen_model(self, fitted_index):
+        rng = np.random.default_rng(5)
+        index = OfflineIndex(
+            concept_model=fitted_index.concept_model,
+            engine=SearchEngine.build(
+                fitted_index.folksonomy, fitted_index.concept_model, name="serve"
+            ),
+            timings=dict(fitted_index.timings),
+            folksonomy=fitted_index.folksonomy,
+        )
+        delta = build_mixed_delta(index.folksonomy, rng)
+        report = index.apply_delta(delta)
+        assert report.delta_ops > 0
+        rebuilt = SearchEngine.build(
+            index.folksonomy, index.concept_model, name="rebuild"
+        )
+        queries = sample_queries(index.folksonomy, rng)
+        assert_engine_parity(index.engine, rebuilt, queries)
+
+    def test_save_load_apply_delta_round_trip(self, fitted_index, tmp_path):
+        rng = np.random.default_rng(6)
+        fitted_index.save(tmp_path, include_folksonomy=True)
+        serving = OfflineIndex.load(tmp_path)
+        assert serving.folksonomy is not None
+        assert serving.folksonomy.assignments == (
+            fitted_index.folksonomy.assignments
+        )
+        delta = build_mixed_delta(serving.folksonomy, rng)
+        serving.apply_delta(delta)
+        rebuilt = SearchEngine.build(
+            serving.folksonomy, serving.concept_model, name="rebuild"
+        )
+        queries = sample_queries(serving.folksonomy, rng)
+        assert_engine_parity(serving.engine, rebuilt, queries)
+
+    def test_load_without_folksonomy_cannot_apply(self, fitted_index, tmp_path):
+        fitted_index.save(tmp_path)  # default: no assignment log
+        serving = OfflineIndex.load(tmp_path)
+        assert serving.folksonomy is None
+        with pytest.raises(ConfigurationError):
+            serving.apply_delta(FolksonomyDelta(added=[("u", "t", "r")]))
+
+    def test_metadata_records_persisted_concepts(self, small_cleaned, tmp_path):
+        """Regression: metadata used to count dynamic concepts that the
+        engine save drops, so reloaded indexes disagreed with it."""
+        import json
+
+        from repro.core.concepts import ConceptModel, Concept
+        from repro.core.pipeline import INDEX_METADATA_FILENAME
+
+        model = ConceptModel(
+            concepts=[
+                Concept(0, tuple(sorted(small_cleaned.tags[:5]))),
+                Concept(1, tuple(sorted(small_cleaned.tags[5:]))),
+            ],
+            tag_to_concept={
+                tag: (0 if position < 5 else 1)
+                for position, tag in enumerate(small_cleaned.tags)
+            },
+            unknown_policy="own-concept",
+        )
+        engine = SearchEngine.build(small_cleaned, model, name="dyn")
+        # allocate a dynamic concept after fitting (index-build path)
+        engine.add_resources({"dyn-r": {"tag-outside-model": 2}})
+        assert model.num_concepts == 3  # 2 static + 1 dynamic
+        index = OfflineIndex(
+            concept_model=model,
+            engine=engine,
+            timings={"indexing": 0.0},
+            folksonomy=small_cleaned,
+        )
+        index.save(tmp_path)
+        metadata = json.loads(
+            (tmp_path / INDEX_METADATA_FILENAME).read_text(encoding="utf-8")
+        )
+        assert metadata["num_concepts"] == 2  # static count only
+        loaded = OfflineIndex.load(tmp_path)
+        assert loaded.concept_model.num_persisted_concepts == 2
+
+    def test_dynamic_concepts_survive_reload_without_id_reuse(
+        self, small_cleaned, tmp_path
+    ):
+        """A restored serving engine must not reallocate a dynamic concept
+        id whose column still holds another tag's persisted counts."""
+        from repro.core.concepts import ConceptModel, Concept
+
+        tags = list(small_cleaned.tags)
+        model = ConceptModel(
+            concepts=[Concept(0, tuple(sorted(tags)))],
+            tag_to_concept={tag: 0 for tag in tags},
+            unknown_policy="own-concept",
+        )
+        engine = SearchEngine.build(small_cleaned, model, name="dyn")
+        engine.add_resources({"dyn-r": {"first-unknown": 2}})
+        engine.save(tmp_path)
+
+        restored = SearchEngine.load(tmp_path)
+        # the dynamic tag -> id mapping travelled with the engine ...
+        assert restored.concept_model.concept_of("first-unknown") == 1
+        assert restored.search(["first-unknown"], top_k=3)[0].resource == "dyn-r"
+        # ... so a new unknown tag gets a fresh id, not a live column's.
+        restored.add_resources({"dyn-r2": {"second-unknown": 1}})
+        assert restored.concept_model.concept_of("second-unknown") == 2
+        results = restored.search(["second-unknown"], top_k=3)
+        assert [r.resource for r in results] == ["dyn-r2"]
+        assert [
+            r.resource for r in restored.search(["first-unknown"], top_k=3)
+        ] == ["dyn-r"]
+
+    def test_resave_without_folksonomy_drops_stale_assignment_log(
+        self, fitted_index, tmp_path
+    ):
+        """Regression: checkpointing the same directory without the
+        folksonomy used to leave the old assignment log behind, pairing the
+        new engine with an outdated corpus on load."""
+        fitted_index.save(tmp_path, include_folksonomy=True)
+        fitted_index.save(tmp_path)  # overwrite, folksonomy not included
+        reloaded = OfflineIndex.load(tmp_path)
+        assert reloaded.folksonomy is None
+
+    def test_one_delta_bumps_epoch_once(self, fitted_index):
+        """A delta batch is one mutation epoch regardless of how many
+        resources it adds, retags and removes."""
+        rng = np.random.default_rng(11)
+        index = OfflineIndex(
+            concept_model=fitted_index.concept_model,
+            engine=SearchEngine.build(
+                fitted_index.folksonomy, fitted_index.concept_model, name="e"
+            ),
+            timings={},
+            folksonomy=fitted_index.folksonomy,
+        )
+        delta = build_mixed_delta(index.folksonomy, rng)
+        report = index.apply_delta(delta)
+        assert report.epoch == 1
+        assert report.delta_ops >= 3  # adds + removal + retag all counted
+
+    def test_apply_mutations_rejects_overlapping_buckets(
+        self, small_cleaned
+    ):
+        engine = SearchEngine.build(
+            small_cleaned, identity_concept_model(small_cleaned.tags), name="o"
+        )
+        existing = small_cleaned.resources[0]
+        with pytest.raises(ConfigurationError):
+            engine.apply_mutations(
+                updated={existing: {"a": 1}}, removed=[existing]
+            )
+        assert engine.epoch == 0
+
+    def test_corpus_swap_delta_applies(self, small_cleaned):
+        """A delta that replaces every resource must fold in cleanly."""
+        pipeline = CubeLSIPipeline(
+            reduction_ratios=(10.0, 3.0, 10.0), num_concepts=8, seed=0, min_rank=4
+        )
+        index = pipeline.fit(small_cleaned)
+        tags = list(small_cleaned.tags)
+        builder = FolksonomyDeltaBuilder()
+        for resource in index.folksonomy.resources:
+            builder.remove_resource(index.folksonomy, resource)
+        for position in range(3):
+            builder.add_resource(
+                f"replacement-{position}", {"swap-user": [tags[position]]}
+            )
+        index.apply_delta(builder.build())
+        assert index.engine.num_indexed_resources == 3
+        assert index.folksonomy.num_resources == 3
+        rebuilt = SearchEngine.build(
+            index.folksonomy, index.concept_model, name="rebuild"
+        )
+        assert_engine_parity(
+            index.engine, rebuilt, [[tags[0]], [tags[1]], []], top_k=5
+        )
+
+    def test_load_rejects_inconsistent_metadata(self, fitted_index, tmp_path):
+        import json
+
+        from repro.core.pipeline import INDEX_METADATA_FILENAME
+
+        fitted_index.save(tmp_path)
+        metadata_path = tmp_path / INDEX_METADATA_FILENAME
+        metadata = json.loads(metadata_path.read_text(encoding="utf-8"))
+        metadata["num_concepts"] = metadata["num_concepts"] + 7
+        metadata_path.write_text(json.dumps(metadata), encoding="utf-8")
+        with pytest.raises(DataFormatError):
+            OfflineIndex.load(tmp_path)
+
+
+class TestSnapshotStore:
+    def test_checkpoint_restore_and_prune(self, small_cleaned, tmp_path):
+        rng = np.random.default_rng(7)
+        pipeline = CubeLSIPipeline(
+            reduction_ratios=(10.0, 3.0, 10.0), num_concepts=10, seed=0, min_rank=4
+        )
+        index = pipeline.fit(small_cleaned)
+        store = IndexSnapshotStore(tmp_path / "snapshots")
+        first = store.save(index)
+        assert first.name == "epoch-00000000"
+
+        delta = build_mixed_delta(index.folksonomy, rng)
+        index.apply_delta(delta)
+        store.save(index)
+        assert store.epochs() == [0, index.engine.epoch]
+
+        serving = store.load()  # newest epoch
+        assert serving.engine.epoch == index.engine.epoch
+        queries = sample_queries(index.folksonomy, rng)
+        assert_engine_parity(serving.engine, index.engine, queries)
+
+        # the restored snapshot keeps accepting deltas
+        more = FolksonomyDeltaBuilder().add_resource(
+            "post-restore", {"user-z": [index.folksonomy.tags[0]]}
+        ).build()
+        serving.apply_delta(more)
+        assert serving.engine.search([index.folksonomy.tags[0]], top_k=3)
+
+        dropped = store.prune(keep_last=1)
+        assert dropped == [0]
+        assert store.epochs() == [index.engine.epoch]
+        assert store.latest_epoch() == index.engine.epoch
+
+    def test_refit_checkpoint_stays_newest(self, small_cleaned, tmp_path):
+        """Regression: a refit resets the engine epoch to 0, and its
+        checkpoint used to overwrite epoch-00000000 while load() kept
+        restoring the stale pre-refit snapshot."""
+        rng = np.random.default_rng(9)
+        pipeline = CubeLSIPipeline(
+            reduction_ratios=(10.0, 3.0, 10.0), num_concepts=10, seed=0, min_rank=4
+        )
+        index = pipeline.fit(small_cleaned)
+        store = IndexSnapshotStore(tmp_path / "snapshots")
+        store.save(index)  # epoch 0
+        index.apply_delta(build_mixed_delta(index.folksonomy, rng))
+        store.save(index)  # epoch 1
+
+        refit = pipeline.fit(index.folksonomy)  # fresh engine, epoch 0
+        refit_path = store.save(refit)
+        assert refit.engine.epoch == 2  # advanced past the stored line
+        assert refit_path.name == "epoch-00000002"
+        assert store.epochs() == [0, 1, 2]
+        restored = store.load()
+        assert restored.engine.epoch == 2
+        assert (
+            restored.folksonomy.assignments == refit.folksonomy.assignments
+        )
+
+    def test_replay_deltas_report(self, small_cleaned):
+        rng = np.random.default_rng(8)
+        pipeline = CubeLSIPipeline(
+            reduction_ratios=(10.0, 3.0, 10.0), num_concepts=10, seed=0, min_rank=4
+        )
+        index = pipeline.fit(small_cleaned)
+        deltas = []
+        folksonomy = index.folksonomy
+        for round_number in range(3):
+            builder = FolksonomyDeltaBuilder()
+            builder.add_resource(
+                f"replay-{round_number}",
+                {"replay-user": [folksonomy.tags[round_number]]},
+            )
+            delta = builder.build()
+            deltas.append(delta)
+            folksonomy = folksonomy.apply_delta(delta)
+        report = replay_deltas(index, deltas)
+        assert len(report.steps) == 3
+        assert report.total_seconds >= 0.0
+        assert [row["Batch"] for row in report.timing_rows()] == [0, 1, 2]
+        assert index.folksonomy.has_resource("replay-2")
