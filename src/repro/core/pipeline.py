@@ -31,6 +31,7 @@ from repro.utils.timing import Stopwatch
 if TYPE_CHECKING:  # runtime import would close the core -> search -> core cycle
     from repro.search.engine import SearchEngine
     from repro.search.incremental import StalenessReport
+    from repro.search.sharding import ShardedSearchEngine
     from repro.tagging.delta import FolksonomyDelta
 
 
@@ -49,11 +50,14 @@ class OfflineIndex:
 
     Indexes restored with :meth:`load` carry only what online serving
     needs — the concept model and the compiled search engine; the training
-    folksonomy and the raw decomposition result are ``None``.
+    folksonomy and the raw decomposition result are ``None``.  The engine
+    may be a monolithic :class:`~repro.search.engine.SearchEngine` or a
+    :class:`~repro.search.sharding.ShardedSearchEngine`; both answer the
+    same query/mutation/persistence API.
     """
 
     concept_model: ConceptModel
-    engine: "SearchEngine"
+    engine: Union["SearchEngine", "ShardedSearchEngine"]
     timings: Dict[str, float]
     folksonomy: Optional[Folksonomy] = None
     cubelsi_result: Optional[CubeLSIResult] = None
@@ -117,7 +121,10 @@ class OfflineIndex:
     # Persistence (offline indexing and online serving as two processes)
     # ------------------------------------------------------------------ #
     def save(
-        self, directory: Union[str, Path], include_folksonomy: bool = False
+        self,
+        directory: Union[str, Path],
+        include_folksonomy: bool = False,
+        num_shards: Optional[int] = None,
     ) -> Path:
         """Write the serving artefacts (engine + metadata) to ``directory``.
 
@@ -125,25 +132,53 @@ class OfflineIndex:
         the engine so that a serving process restoring the snapshot can keep
         hot-applying deltas (at the cost of a larger artefact).
 
+        A sharded engine is written in the sharded layout (per-shard
+        ``.npz`` dirs + ``shard_manifest.json``); ``num_shards`` partitions
+        a monolithic engine on the fly into that layout, so the offline
+        indexer can emit artefacts an N-process deployment loads one shard
+        each from (:meth:`load` restores either layout transparently).
+
         ``num_concepts`` records the *static* (distilled) concept count, the
         figure that is stable across the index's lifetime — dynamic
         (``own-concept``) concepts appear and disappear with mutations, so
         recording them here made a reloaded index disagree with its own
         metadata.
         """
+        from repro.search.sharding import ShardedSearchEngine
+
         if include_folksonomy and self.folksonomy is None:
             raise ConfigurationError(
                 "include_folksonomy=True but this index carries no folksonomy"
             )
+        engine = self.engine
+        if isinstance(engine, ShardedSearchEngine):
+            if num_shards is not None and num_shards != engine.num_shards:
+                raise ConfigurationError(
+                    f"this index's engine already has {engine.num_shards} "
+                    f"shards; cannot re-save it with num_shards={num_shards}"
+                )
+        elif num_shards is not None:
+            engine = ShardedSearchEngine.from_engine(
+                engine, num_shards=num_shards
+            )
         path = Path(directory)
         path.mkdir(parents=True, exist_ok=True)
-        self.engine.save(path)
+        engine.save(path)
+        self._drop_other_layout(
+            path, sharded=isinstance(engine, ShardedSearchEngine)
+        )
         metadata = {
             "timings": {name: float(value) for name, value in self.timings.items()},
             "dataset_name": self.folksonomy.name if self.folksonomy else None,
             "num_concepts": self.concept_model.num_persisted_concepts,
             "epoch": self.engine.epoch,
             "includes_folksonomy": bool(include_folksonomy and self.folksonomy),
+            "sharded": isinstance(engine, ShardedSearchEngine),
+            "num_shards": (
+                engine.num_shards
+                if isinstance(engine, ShardedSearchEngine)
+                else None
+            ),
         }
         assignments_path = path / INDEX_ASSIGNMENTS_FILENAME
         if include_folksonomy:
@@ -158,22 +193,64 @@ class OfflineIndex:
         )
         return path
 
+    @staticmethod
+    def _drop_other_layout(path: Path, sharded: bool) -> None:
+        """Remove the other layout's artefacts when overwriting a save dir.
+
+        A sharded save over a previous monolithic one (or vice versa) must
+        not leave the outgoing layout's files behind — :meth:`load` keys on
+        the shard manifest, so a stale manifest (or stale engine arrays)
+        would pair the metadata with an outdated engine.
+        """
+        import shutil
+
+        from repro.search.engine import ENGINE_FILENAME
+        from repro.search.matrix_space import (
+            ARRAYS_FILENAME,
+            METADATA_FILENAME,
+        )
+        from repro.search.sharding import SHARD_MANIFEST_FILENAME
+
+        if sharded:
+            for name in (ENGINE_FILENAME, ARRAYS_FILENAME, METADATA_FILENAME):
+                stale = path / name
+                if stale.exists():
+                    stale.unlink()
+        else:
+            manifest = path / SHARD_MANIFEST_FILENAME
+            if manifest.exists():
+                manifest.unlink()
+            for stale_dir in path.glob("shard-[0-9]*"):
+                if stale_dir.is_dir():
+                    shutil.rmtree(stale_dir)
+
     @classmethod
     def load(cls, directory: Union[str, Path]) -> "OfflineIndex":
         """Restore a serving-ready index from :meth:`save` output.
 
-        Validates that the engine's persisted concept model matches the
-        metadata's recorded ``num_concepts`` (guards against artefact drift
-        between the two files).
+        Detects the layout on disk: a ``shard_manifest.json`` restores a
+        :class:`~repro.search.sharding.ShardedSearchEngine`, otherwise the
+        monolithic engine is loaded.  Validates that the engine's persisted
+        concept model matches the metadata's recorded ``num_concepts``
+        (guards against artefact drift between the two files).
         """
         path = Path(directory)
         metadata_path = path / INDEX_METADATA_FILENAME
         if not metadata_path.exists():
             raise NotFittedError(f"no saved offline index under {path}")
         from repro.search.engine import SearchEngine
+        from repro.search.sharding import (
+            SHARD_MANIFEST_FILENAME,
+            ShardedSearchEngine,
+        )
 
         metadata = json.loads(metadata_path.read_text(encoding="utf-8"))
-        engine = SearchEngine.load(path)
+        if (path / SHARD_MANIFEST_FILENAME).exists():
+            engine: Union[
+                "SearchEngine", "ShardedSearchEngine"
+            ] = ShardedSearchEngine.load(path)
+        else:
+            engine = SearchEngine.load(path)
         recorded = metadata.get("num_concepts")
         persisted = engine.concept_model.num_persisted_concepts
         if recorded is not None and int(recorded) != persisted:

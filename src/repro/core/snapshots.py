@@ -44,7 +44,7 @@ class IndexSnapshotStore:
     # ------------------------------------------------------------------ #
     # Write path
     # ------------------------------------------------------------------ #
-    def save(self, index: OfflineIndex) -> Path:
+    def save(self, index: OfflineIndex, num_shards: Optional[int] = None) -> Path:
         """Checkpoint ``index`` under its engine's current epoch.
 
         Re-checkpointing the current epoch overwrites it in place, so a
@@ -56,6 +56,14 @@ class IndexSnapshotStore:
         :meth:`load` always restores the newest state.  Checkpoint before
         refitting if the outgoing generation's snapshot must survive a
         same-epoch overwrite.
+
+        Indexes whose engine is a
+        :class:`~repro.search.sharding.ShardedSearchEngine` checkpoint in
+        the sharded layout (per-shard ``.npz`` dirs + manifest), and
+        ``num_shards`` shards a monolithic engine's checkpoint on the fly —
+        either way :meth:`load` (via ``OfflineIndex.load``) restores the
+        right engine, and an N-process deployment can point
+        ``ShardedSearchEngine.load_shard`` at the snapshot directory.
         """
         if index.folksonomy is None:
             raise ConfigurationError(
@@ -71,7 +79,7 @@ class IndexSnapshotStore:
         staging = self._root / f".staging-epoch-{index.engine.epoch:08d}"
         if staging.exists():
             shutil.rmtree(staging)
-        index.save(staging, include_folksonomy=True)
+        index.save(staging, include_folksonomy=True, num_shards=num_shards)
         if directory.exists():
             # Retire the old snapshot with a rename (not an rmtree) so the
             # unprotected window between losing the old directory and

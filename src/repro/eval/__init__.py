@@ -8,6 +8,8 @@
   by the experiment drivers and benchmarks to print paper-style output.
 * :mod:`repro.eval.incremental` — replay of folksonomy delta streams
   against a serving index (the streaming-update workload).
+* :mod:`repro.eval.sharding` — parity + throughput sweep of sharded
+  engines against the monolithic baseline.
 """
 
 from repro.eval.ndcg import (
@@ -30,6 +32,7 @@ from repro.eval.incremental import (
     DeltaReplayStep,
     replay_deltas,
 )
+from repro.eval.sharding import rankings_match, sharding_sweep
 
 __all__ = [
     "dcg_at",
@@ -48,4 +51,6 @@ __all__ = [
     "DeltaReplayReport",
     "DeltaReplayStep",
     "replay_deltas",
+    "rankings_match",
+    "sharding_sweep",
 ]

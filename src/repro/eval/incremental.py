@@ -103,8 +103,11 @@ def replay_deltas(
         staleness = index.apply_delta(delta)
         applied = time.perf_counter()
         if eager_refresh:
-            if index.engine.matrix_space is not None:
-                index.engine.matrix_space.refresh()
+            # A sharded engine has no single matrix_space: its refresh IS
+            # the serving-side coordinated recompute, so time that instead.
+            matrix_space = getattr(index.engine, "matrix_space", None)
+            if matrix_space is not None:
+                matrix_space.refresh()
             else:
                 index.engine.refresh()
         finished = time.perf_counter()

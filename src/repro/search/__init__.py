@@ -16,21 +16,46 @@ dot products (Table VI).
   concept model, the backends and the ranking.
 * :mod:`repro.search.incremental` — staleness accounting for incrementally
   updated engines (epochs, refresh policy, fold-in drift reports).
+* :mod:`repro.search.sharding` — the sharded serving architecture: router,
+  per-shard concept-space slices, parallel fan-out with heap-merged top-k,
+  and the sharded on-disk layout.
+* :mod:`repro.search.cache` — the LRU query result cache layered in front
+  of scoring.
 """
 
 from repro.search.vsm import ConceptVectorSpace, RankedResult
 from repro.search.inverted_index import InvertedIndex
-from repro.search.matrix_space import MatrixConceptSpace, select_top_k
-from repro.search.incremental import RefreshPolicy, StalenessReport
+from repro.search.matrix_space import (
+    MatrixConceptSpace,
+    boundary_tie_candidates,
+    select_top_k,
+)
+from repro.search.incremental import (
+    RefreshPolicy,
+    StalenessReport,
+    aggregate_reports,
+)
 from repro.search.engine import SearchEngine
+from repro.search.cache import QueryCache
+from repro.search.sharding import (
+    ShardRouter,
+    ShardedSearchEngine,
+    merge_topk,
+)
 
 __all__ = [
     "ConceptVectorSpace",
     "RankedResult",
     "InvertedIndex",
     "MatrixConceptSpace",
+    "boundary_tie_candidates",
     "select_top_k",
     "RefreshPolicy",
     "StalenessReport",
+    "aggregate_reports",
     "SearchEngine",
+    "QueryCache",
+    "ShardRouter",
+    "ShardedSearchEngine",
+    "merge_topk",
 ]

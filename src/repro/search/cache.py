@@ -1,0 +1,132 @@
+"""An LRU result cache for the online query path.
+
+Tag queries are heavily repeated in folksonomy workloads (head queries,
+dashboard refreshes, pagination), and a ranked result list is immutable
+between index mutations.  :class:`QueryCache` exploits both facts: results
+are cached under the *canonicalized tag multiset* — ``["rock", "jazz"]``
+and ``["jazz", "rock"]`` share an entry — together with ``top_k`` and the
+engine's mutation *epoch*.  Because the epoch is part of the key, a stale
+entry can never be served after a mutation; the owning engine additionally
+calls :meth:`clear` on every mutation batch so dead entries do not linger
+until LRU pressure evicts them.
+
+The cache is thread-safe (one lock around the ordered map) so a sharded
+engine can be queried from multiple serving threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.search.vsm import RankedResult
+from repro.utils.errors import ConfigurationError
+
+#: Default number of cached result lists.
+DEFAULT_MAX_ENTRIES = 1024
+
+
+class QueryCache:
+    """A bounded LRU map from canonical query keys to ranked result lists."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self._max_entries = int(max_entries)
+        self._entries: "OrderedDict[Hashable, Tuple[RankedResult, ...]]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @staticmethod
+    def canonical_key(
+        query_tags: Sequence[str], top_k: Optional[int], epoch: int
+    ) -> Tuple[Tuple[str, ...], Optional[int], int]:
+        """The cache key: sorted tag multiset + result size + index epoch.
+
+        Sorting canonicalizes tag *order* while preserving multiplicity
+        (``["a", "a"]`` and ``["a"]`` weigh tags differently and must not
+        collide); the epoch ties the entry to one immutable index state.
+        """
+        return (tuple(sorted(query_tags)), top_k, int(epoch))
+
+    # ------------------------------------------------------------------ #
+    # Lookup / store
+    # ------------------------------------------------------------------ #
+    def get(self, key: Hashable) -> Optional[List[RankedResult]]:
+        """The cached result list for ``key``, or ``None`` on a miss.
+
+        A hit returns a fresh list (entries are immutable named tuples), so
+        callers may mutate the returned list without corrupting the cache.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return list(entry)
+
+    def put(self, key: Hashable, results: Sequence[RankedResult]) -> None:
+        """Store ``results`` under ``key``, evicting the LRU entry if full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = tuple(results)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (called by the owning engine on mutation)."""
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def max_entries(self) -> int:
+        return self._max_entries
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before the first lookup)."""
+        lookups = self._hits + self._misses
+        return self._hits / lookups if lookups else 0.0
+
+    def stats(self) -> Dict[str, object]:
+        """A plain-dict snapshot for reports and logs."""
+        with self._lock:
+            size = len(self._entries)
+        return {
+            "entries": size,
+            "max_entries": self._max_entries,
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "hit_rate": self.hit_rate,
+        }

@@ -27,13 +27,74 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.core.concepts import Concept, ConceptModel
 from repro.search.incremental import RefreshPolicy, StalenessReport
-from repro.search.matrix_space import MatrixConceptSpace
+from repro.search.matrix_space import MatrixConceptSpace, validate_top_k
 from repro.search.vsm import ConceptVectorSpace, RankedResult
 from repro.tagging.folksonomy import Folksonomy
 from repro.utils.errors import ConfigurationError, NotFittedError
 
 #: JSON file holding the concept model and engine metadata in a save dir.
 ENGINE_FILENAME = "engine.json"
+
+
+def prepare_mutation_batch(
+    engine,
+    added: Optional[Mapping[str, Mapping[str, float]]],
+    updated: Optional[Mapping[str, Mapping[str, float]]],
+    removed: Optional[Iterable[str]],
+):
+    """Shared validation + frozen-model fold-in for one mutation batch.
+
+    ``engine`` duck-types the monolithic and sharded engines
+    (``has_resource`` / ``num_indexed_resources`` / ``concept_model``), so
+    both apply byte-for-byte the same batch semantics: buckets are
+    normalized (dicts copied, removals deduplicated), overlapping buckets
+    and unknown/already-indexed resources are rejected, a batch that would
+    empty the corpus is rejected, and only then is every tag bag mapped
+    through the *frozen* concept model with dynamic-concept allocation.
+    Returns ``(added_bags, updated_bags, removed)`` ready to push into the
+    backends, or ``None`` for an empty (no-op) batch.  Backend-specific
+    mutability checks stay with the caller and must run *before* this so a
+    rejected batch has zero side effects.
+    """
+    added = dict(added or {})
+    updated = dict(updated or {})
+    removed = list(dict.fromkeys(removed or []))
+
+    overlapping = (set(added) & set(updated)) | (
+        (set(added) | set(updated)) & set(removed)
+    )
+    if overlapping:
+        raise ConfigurationError(
+            f"resources appear in multiple mutation buckets: "
+            f"{sorted(overlapping)[:3]}"
+        )
+    for resource in added:
+        if engine.has_resource(resource):
+            raise ConfigurationError(
+                f"resource {resource!r} is already indexed; update it instead"
+            )
+    for resource in list(updated) + removed:
+        if not engine.has_resource(resource):
+            raise ConfigurationError(f"resource {resource!r} is not indexed")
+    if (
+        removed
+        and engine.num_indexed_resources + len(added) - len(removed) < 1
+    ):
+        raise ConfigurationError(
+            "cannot remove every resource; rebuild the engine instead"
+        )
+    if not added and not updated and not removed:
+        return None
+
+    added_bags = {
+        resource: engine.concept_model.concept_bag(bag, allocate=True)
+        for resource, bag in added.items()
+    }
+    updated_bags = {
+        resource: engine.concept_model.concept_bag(bag, allocate=True)
+        for resource, bag in updated.items()
+    }
+    return added_bags, updated_bags, removed
 
 
 @dataclass
@@ -129,6 +190,7 @@ class SearchEngine:
         omitted (their cosine similarity is zero).  Empty queries and queries
         of entirely unknown tags return an empty list.
         """
+        validate_top_k(top_k)
         concept_bag = self.query_concepts(query_tags)
         if not concept_bag:
             return []
@@ -146,8 +208,14 @@ class SearchEngine:
         With the matrix backend the batch is scored by a single sparse
         matmul; otherwise each query goes through the dict-loop reference
         path.  The i-th result list always corresponds to the i-th query,
-        with empty/unmatchable queries producing empty lists.
+        with empty/unmatchable queries producing empty lists.  An empty
+        batch yields an empty list, and an invalid ``top_k`` is rejected
+        up front even when no query is scorable — callers get well-typed
+        results without relying on downstream backend guards.
         """
+        validate_top_k(top_k)
+        if not queries:
+            return []
         concept_bags = [self.query_concepts(tags) for tags in queries]
         if self.matrix_space is not None:
             scorable = [
@@ -238,10 +306,6 @@ class SearchEngine:
         sync, and additions land before removals so a batch that swaps
         most of the corpus never looks momentarily empty.
         """
-        added = dict(added or {})
-        updated = dict(updated or {})
-        removed = list(dict.fromkeys(removed or []))
-
         if self.matrix_space is not None and not self.matrix_space.is_mutable:
             # Checked before anything (including dynamic-concept allocation)
             # happens, so a rejected batch has zero side effects.
@@ -250,40 +314,16 @@ class SearchEngine:
                 "(pre-v2 artefact) and cannot be mutated; rebuild the engine "
                 "or re-save the index with the current format"
             )
-        overlapping = (set(added) & set(updated)) | (
-            (set(added) | set(updated)) & set(removed)
-        )
-        if overlapping:
+        if self.matrix_space is not None and self.matrix_space.has_external_stats:
             raise ConfigurationError(
-                f"resources appear in multiple mutation buckets: "
-                f"{sorted(overlapping)[:3]}"
+                "this engine serves one shard of a sharded index and cannot "
+                "mutate it locally (idf/num_resources are corpus-wide); "
+                "route mutations through the owning ShardedSearchEngine"
             )
-        for resource in added:
-            if self.has_resource(resource):
-                raise ConfigurationError(
-                    f"resource {resource!r} is already indexed; update it instead"
-                )
-        for resource in list(updated) + removed:
-            if not self.has_resource(resource):
-                raise ConfigurationError(f"resource {resource!r} is not indexed")
-        if (
-            removed
-            and self.num_indexed_resources + len(added) - len(removed) < 1
-        ):
-            raise ConfigurationError(
-                "cannot remove every resource; rebuild the engine instead"
-            )
-        if not added and not updated and not removed:
+        batch = prepare_mutation_batch(self, added, updated, removed)
+        if batch is None:
             return self.staleness()
-
-        added_bags = {
-            resource: self.concept_model.concept_bag(bag, allocate=True)
-            for resource, bag in added.items()
-        }
-        updated_bags = {
-            resource: self.concept_model.concept_bag(bag, allocate=True)
-            for resource, bag in updated.items()
-        }
+        added_bags, updated_bags, removed = batch
         if self.matrix_space is not None:
             if added_bags:
                 self.matrix_space.add_documents(added_bags)
@@ -377,7 +417,7 @@ class SearchEngine:
         self.matrix_space.save(path)
         payload = {
             "name": self.name,
-            "concept_model": _concept_model_to_json(self.concept_model),
+            "concept_model": concept_model_to_json(self.concept_model),
             "epoch": self.epoch,
             "baseline_resources": self._baseline_resources,
             "mutations": {
@@ -404,7 +444,7 @@ class SearchEngine:
         policy_payload = payload.get("refresh_policy") or {}
         mutations = payload.get("mutations") or {}
         return cls(
-            concept_model=_concept_model_from_json(payload["concept_model"]),
+            concept_model=concept_model_from_json(payload["concept_model"]),
             vector_space=None,
             name=payload["name"],
             matrix_space=MatrixConceptSpace.load(path),
@@ -433,7 +473,8 @@ class SearchEngine:
         return self.vector_space
 
 
-def _concept_model_to_json(model: ConceptModel) -> Dict[str, object]:
+def concept_model_to_json(model: ConceptModel) -> Dict[str, object]:
+    """JSON payload for a concept model (engine and shard-manifest saves)."""
     return {
         "unknown_policy": model.unknown_policy,
         "concepts": [
@@ -444,7 +485,8 @@ def _concept_model_to_json(model: ConceptModel) -> Dict[str, object]:
     }
 
 
-def _concept_model_from_json(payload: Dict[str, object]) -> ConceptModel:
+def concept_model_from_json(payload: Dict[str, object]) -> ConceptModel:
+    """Inverse of :func:`concept_model_to_json`."""
     concepts = [
         Concept(concept_id=int(entry["id"]), tags=tuple(entry["tags"]))
         for entry in payload["concepts"]  # type: ignore[union-attr]

@@ -47,6 +47,49 @@ FORMAT_VERSION = 2
 DENSE_BATCH_CELLS = 8_000_000
 
 
+def validate_top_k(top_k: Optional[int]) -> None:
+    """Reject a non-positive ``top_k`` before any scoring work happens."""
+    if top_k is not None and top_k < 1:
+        raise ConfigurationError(f"top_k must be >= 1 when given, got {top_k}")
+
+
+def boundary_tie_candidates(scores: np.ndarray, top_k: Optional[int]) -> np.ndarray:
+    """Indices of every entry that can appear in an exact top-k selection.
+
+    Selecting the ``top_k`` best scores with :func:`numpy.argpartition` is
+    ambiguous when scores tie exactly at rank k: the partition picks an
+    arbitrary subset of the boundary tie group.  This helper widens the
+    selection to the *whole* tie group — the k best scores plus every entry
+    whose score equals the boundary — so that a deterministic tie-break
+    (ascending position / resource id) can then pick the exact members.
+
+    It is the single source of truth for boundary-tie handling: the flat
+    selector (:func:`select_top_k`) and the sharded fan-out merge
+    (:func:`repro.search.sharding.merge_topk`) both resolve rank-k ties
+    through it, which is what keeps a sharded top-k identical to the
+    monolithic one when scores tie exactly at the cut.
+    """
+    if top_k is None or top_k >= scores.size:
+        return np.arange(scores.size)
+    head = np.argpartition(-scores, top_k - 1)[:top_k]
+    boundary = scores[head].min()
+    return np.flatnonzero(scores >= boundary)
+
+
+def idf_from_document_frequency(
+    document_frequency: np.ndarray, num_documents: int, smooth_idf: bool
+) -> np.ndarray:
+    """Vectorized Eq. 1 idf over a document-frequency vector.
+
+    Shared by the space-local refresh and the sharded coordinator, which
+    feeds *global* (cross-shard) document frequencies through the exact
+    same formula so every shard weighs terms identically.
+    """
+    if smooth_idf:
+        return np.log((num_documents + 1.0) / (document_frequency + 1.0)) + 1.0
+    return np.log(num_documents / document_frequency.astype(np.float64))
+
+
 def select_top_k(
     positions: np.ndarray, scores: np.ndarray, top_k: Optional[int]
 ) -> np.ndarray:
@@ -60,7 +103,8 @@ def select_top_k(
     never materialises zero-similarity documents.
 
     Uses :func:`numpy.argpartition` to avoid a full sort when ``top_k`` is
-    small, but widens the partition to the whole boundary tie group so the
+    small, but widens the partition through
+    :func:`boundary_tie_candidates` to the whole boundary tie group so the
     selection matches an exhaustive ``sorted(..., key=(-score, position))``.
     """
     if scores.size == 0:
@@ -78,12 +122,7 @@ def select_top_k(
             return keep
         kept_scores = scores[keep]
         kept_positions = positions[keep]
-    if top_k is not None and top_k < kept_scores.size:
-        head = np.argpartition(-kept_scores, top_k - 1)[:top_k]
-        boundary = kept_scores[head].min()
-        candidate = np.flatnonzero(kept_scores >= boundary)
-    else:
-        candidate = np.arange(kept_scores.size)
+    candidate = boundary_tie_candidates(kept_scores, top_k)
     order = np.lexsort((kept_positions[candidate], -kept_scores[candidate]))
     selected = candidate[order]
     if top_k is not None:
@@ -109,6 +148,7 @@ class MatrixConceptSpace:
         smooth_idf: bool,
         num_resources: int,
         counts: Optional[sp.csr_matrix] = None,
+        external_stats: bool = False,
     ) -> None:
         self._doc_ids: Tuple[str, ...] = tuple(doc_ids)
         self._doc_index: Dict[str, int] = {
@@ -141,6 +181,12 @@ class MatrixConceptSpace:
             )
         self._pending_upsert: Dict[str, Dict[Hashable, float]] = {}
         self._pending_remove: set = set()
+        self._weights_stale = False
+        # Shards of a sharded index carry *global* statistics (idf over the
+        # whole corpus, corpus-wide num_resources) that only their
+        # coordinator may recompute; a shard-local refresh would silently
+        # reweigh the shard against its own rows.
+        self._external_stats = bool(external_stats)
         self._refresh_lock = threading.Lock()
         self._set_unknown_idf()
 
@@ -259,7 +305,14 @@ class MatrixConceptSpace:
     @property
     def is_stale(self) -> bool:
         """Whether mutations are pending the lazy idf/norm recompute."""
-        return bool(self._pending_upsert or self._pending_remove)
+        return bool(
+            self._pending_upsert or self._pending_remove or self._weights_stale
+        )
+
+    @property
+    def has_external_stats(self) -> bool:
+        """Whether idf/num_resources are owned by a sharding coordinator."""
+        return self._external_stats
 
     @property
     def pending_mutations(self) -> int:
@@ -309,14 +362,21 @@ class MatrixConceptSpace:
                 term: float(c) for term, c in bag.items() if c > 0
             }
 
-    def remove_documents(self, doc_ids: Sequence[str]) -> None:
-        """Drop documents (lazily applied, like :meth:`add_documents`)."""
+    def remove_documents(
+        self, doc_ids: Sequence[str], allow_empty: bool = False
+    ) -> None:
+        """Drop documents (lazily applied, like :meth:`add_documents`).
+
+        ``allow_empty=True`` lets the space drain to zero rows — a sharding
+        coordinator needs that, because emptying one shard is legal as long
+        as the *corpus* (which the coordinator guards) stays non-empty.
+        """
         self._require_mutable()
         doc_ids = list(doc_ids)
         for doc_id in doc_ids:
             if not self.has_document(doc_id):
                 raise ConfigurationError(f"document {doc_id!r} is not indexed")
-        if self.pending_num_documents - len(set(doc_ids)) < 1:
+        if not allow_empty and self.pending_num_documents - len(set(doc_ids)) < 1:
             raise ConfigurationError(
                 "cannot remove every document; rebuild the space instead"
             )
@@ -345,6 +405,12 @@ class MatrixConceptSpace:
         document norms in one vectorized pass over the counts — exactly the
         arrays a from-scratch compile over the mutated corpus would produce.
 
+        Spaces with :attr:`has_external_stats` (shards of a sharded index)
+        refuse a local refresh while stale: their idf and ``num_resources``
+        are corpus-wide figures that only the owning coordinator can
+        recompute (via the ``fold_pending_counts`` → ``apply_statistics``
+        protocol below).
+
         Mutations and the refresh they trigger are *writer-side* operations:
         concurrent refreshes are serialised by a lock, but concurrent query
         reads racing a refresh are not — a serving process should apply
@@ -353,6 +419,11 @@ class MatrixConceptSpace:
         """
         if not self.is_stale:
             return False
+        if self._external_stats:
+            raise ConfigurationError(
+                "this space is a shard carrying coordinated corpus-wide "
+                "statistics; refresh it through the owning ShardedSearchEngine"
+            )
         with self._refresh_lock:
             return self._refresh_locked()
 
@@ -360,14 +431,78 @@ class MatrixConceptSpace:
         if not self.is_stale:  # another thread refreshed while we waited
             return False
         assert self._counts is not None
+        self.fold_pending_counts()
+        document_frequency = self.column_document_frequency()
+        alive = document_frequency > 0
+        if not bool(alive.all()):
+            self.drop_columns(alive)
+            document_frequency = document_frequency[alive]
+        num_docs = len(self._doc_ids)
+        self.apply_statistics(
+            idf_from_document_frequency(
+                document_frequency, num_docs, self._smooth_idf
+            ),
+            num_docs,
+        )
+        return True
 
-        terms: List[Hashable] = list(self._terms)
-        term_index: Dict[Hashable, int] = dict(self._term_index)
+    # ------------------------------------------------------------------ #
+    # Coordinator protocol (sharded refresh)
+    #
+    # A sharded index holds N of these spaces, each over a disjoint row
+    # subset but a *shared, column-aligned* vocabulary and shared global
+    # statistics.  After mutations, the owning ShardedSearchEngine drives
+    # the refresh across all shards:
+    #
+    #   1. union every shard's ``pending_new_terms()``,
+    #   2. ``fold_pending_counts(union)`` on each shard (vocabularies stay
+    #      aligned because all get the same extension),
+    #   3. sum ``column_document_frequency()`` across shards,
+    #   4. ``drop_columns`` of globally dead terms on each shard,
+    #   5. ``apply_statistics(global_idf, global_num_docs)`` on each shard.
+    #
+    # These steps are writer-side and unlocked — the local refresh calls
+    # them under its own lock, the coordinator under the engine's.
+    # ------------------------------------------------------------------ #
+    def pending_new_terms(self) -> List[Hashable]:
+        """Terms of pending bags missing from the vocabulary (stable order)."""
+        seen: Dict[Hashable, None] = {}
         for bag in self._pending_upsert.values():
             for term in bag:
-                if term not in term_index:
-                    term_index[term] = len(terms)
-                    terms.append(term)
+                if term not in self._term_index and term not in seen:
+                    seen[term] = None
+        return list(seen)
+
+    def fold_pending_counts(
+        self, extra_terms: Sequence[Hashable] = ()
+    ) -> Tuple[Hashable, ...]:
+        """Fold pending mutations into the count rows; weights stay stale.
+
+        Extends the vocabulary with ``extra_terms`` (plus any new terms of
+        this space's own pending bags), appends/drops count rows and
+        re-sorts documents into ascending-id order.  Returns the resulting
+        vocabulary so a coordinator can assert cross-shard alignment.
+        tf-idf weights, norms and idf are *not* recomputed — callers must
+        follow up with :meth:`apply_statistics` (the local refresh does).
+        """
+        self._require_mutable()
+        assert self._counts is not None
+        terms: List[Hashable] = list(self._terms)
+        term_index: Dict[Hashable, int] = dict(self._term_index)
+        for term in list(extra_terms) + self.pending_new_terms():
+            if term not in term_index:
+                term_index[term] = len(terms)
+                terms.append(term)
+
+        if not self._pending_upsert and not self._pending_remove:
+            if len(terms) != len(self._terms):
+                counts = self._counts.copy()
+                counts.resize((counts.shape[0], len(terms)))
+                self._counts = counts
+                self._terms = tuple(terms)
+                self._term_index = term_index
+                self._weights_stale = True
+            return self._terms
 
         dropped = self._pending_remove | set(self._pending_upsert)
         keep_ids = [d for d in self._doc_ids if d not in dropped]
@@ -385,47 +520,137 @@ class MatrixConceptSpace:
         combined = sp.vstack([old, fresh], format="csr")
 
         order = sorted(range(len(combined_ids)), key=combined_ids.__getitem__)
-        doc_ids = [combined_ids[i] for i in order]
         counts = combined[np.asarray(order, dtype=np.intp)].tocsr()
         counts.eliminate_zeros()
 
-        document_frequency = np.diff(counts.tocsc().indptr)
-        alive = document_frequency > 0
-        if not bool(alive.all()):
-            counts = counts[:, np.flatnonzero(alive)].tocsr()
-            terms = [term for term, keep in zip(terms, alive) if keep]
-            document_frequency = document_frequency[alive]
-            term_index = {term: column for column, term in enumerate(terms)}
-
-        num_docs = counts.shape[0]
-        row_sums = np.asarray(counts.sum(axis=1)).ravel()
-        safe_sums = np.where(row_sums > 0.0, row_sums, 1.0)
-        if self._smooth_idf:
-            idf = np.log((num_docs + 1.0) / (document_frequency + 1.0)) + 1.0
-        else:
-            idf = np.log(num_docs / document_frequency.astype(np.float64))
-        tf_data = counts.data / np.repeat(safe_sums, np.diff(counts.indptr))
-        weights = sp.csr_matrix(
-            (tf_data * idf[counts.indices], counts.indices.copy(), counts.indptr.copy()),
-            shape=counts.shape,
-        )
-        weights.eliminate_zeros()
-        norms = np.sqrt(np.asarray(weights.power(2).sum(axis=1)).ravel())
-
-        self._doc_ids = tuple(doc_ids)
-        self._doc_index = {doc_id: row for row, doc_id in enumerate(doc_ids)}
+        self._doc_ids = tuple(combined_ids[i] for i in order)
+        self._doc_index = {
+            doc_id: row for row, doc_id in enumerate(self._doc_ids)
+        }
         self._terms = tuple(terms)
         self._term_index = term_index
         self._counts = counts
-        self._matrix = weights
-        self._dense_matrix = None
-        self._doc_norms = norms
-        self._idf = idf.astype(np.float64)
-        self._num_resources = num_docs
-        self._set_unknown_idf()
         self._pending_upsert = {}
         self._pending_remove = set()
-        return True
+        self._weights_stale = True
+        return self._terms
+
+    def column_document_frequency(self) -> np.ndarray:
+        """Documents-per-term over the folded count rows (no refresh)."""
+        assert self._counts is not None
+        return np.diff(self._counts.tocsc().indptr)
+
+    def drop_columns(self, alive: np.ndarray) -> None:
+        """Restrict counts and vocabulary to the ``alive`` column mask."""
+        assert self._counts is not None
+        if bool(alive.all()):
+            return
+        self._counts = self._counts[:, np.flatnonzero(alive)].tocsr()
+        self._terms = tuple(
+            term for term, keep in zip(self._terms, alive) if keep
+        )
+        self._term_index = {
+            term: column for column, term in enumerate(self._terms)
+        }
+        self._weights_stale = True
+
+    def apply_statistics(self, idf: np.ndarray, num_resources: int) -> None:
+        """Re-derive weights and norms from the counts and a given idf.
+
+        ``idf``/``num_resources`` are local figures for a standalone space
+        and corpus-wide figures for a shard; either way the weights become
+        exactly what a from-scratch compile with those statistics produces.
+        """
+        assert self._counts is not None
+        idf = np.asarray(idf, dtype=np.float64)
+        if idf.shape != (len(self._terms),):
+            raise ConfigurationError(
+                f"idf vector of length {idf.shape} does not match the "
+                f"{len(self._terms)}-term vocabulary"
+            )
+        counts = self._counts
+        row_sums = np.asarray(counts.sum(axis=1)).ravel()
+        safe_sums = np.where(row_sums > 0.0, row_sums, 1.0)
+        tf_data = counts.data / np.repeat(safe_sums, np.diff(counts.indptr))
+        weights = sp.csr_matrix(
+            (
+                tf_data * idf[counts.indices],
+                counts.indices.copy(),
+                counts.indptr.copy(),
+            ),
+            shape=counts.shape,
+        )
+        weights.eliminate_zeros()
+        self._matrix = weights
+        self._dense_matrix = None
+        self._doc_norms = np.sqrt(
+            np.asarray(weights.power(2).sum(axis=1)).ravel()
+        )
+        self._idf = idf
+        self._num_resources = int(num_resources)
+        self._set_unknown_idf()
+        self._weights_stale = False
+
+    # ------------------------------------------------------------------ #
+    # Partitioning (sharded serving)
+    # ------------------------------------------------------------------ #
+    def slice_rows(self, doc_ids: Sequence[str]) -> "MatrixConceptSpace":
+        """A shard view: the given rows with corpus-wide statistics.
+
+        The slice keeps the full vocabulary, the global idf vector and the
+        global ``num_resources``, so every sliced row scores bit-for-bit
+        like it does in this space; only the set of candidate documents
+        shrinks.  The returned space has :attr:`has_external_stats` set —
+        its statistics stay owned by whoever coordinates the shards.
+        """
+        self.refresh()
+        ordered = sorted(doc_ids)
+        if len(set(ordered)) != len(ordered):
+            raise ConfigurationError("slice_rows got duplicate document ids")
+        missing = [d for d in ordered if d not in self._doc_index]
+        if missing:
+            raise ConfigurationError(
+                f"slice_rows got unknown documents: {missing[:3]}"
+            )
+        rows = np.array([self._doc_index[d] for d in ordered], dtype=np.intp)
+        return MatrixConceptSpace(
+            doc_ids=ordered,
+            terms=self._terms,
+            matrix=self._matrix[rows].tocsr(),
+            doc_norms=self._doc_norms[rows],
+            idf=self._idf.copy(),
+            smooth_idf=self._smooth_idf,
+            num_resources=self._num_resources,
+            counts=self._counts[rows].tocsr() if self._counts is not None else None,
+            external_stats=True,
+        )
+
+    def partition(
+        self, num_shards: int, assign
+    ) -> List["MatrixConceptSpace"]:
+        """Split the space into ``num_shards`` row shards via ``assign``.
+
+        ``assign`` maps a document id to a shard index in
+        ``[0, num_shards)`` — typically
+        :meth:`repro.search.sharding.ShardRouter.shard_of`.  Every shard
+        (including empty ones) is returned, each carrying the shared
+        vocabulary and global statistics (see :meth:`slice_rows`).
+        """
+        if num_shards < 1:
+            raise ConfigurationError(
+                f"num_shards must be >= 1, got {num_shards}"
+            )
+        self.refresh()
+        buckets: List[List[str]] = [[] for _ in range(num_shards)]
+        for doc_id in self._doc_ids:
+            shard = int(assign(doc_id))
+            if not 0 <= shard < num_shards:
+                raise ConfigurationError(
+                    f"assign({doc_id!r}) returned shard {shard}, outside "
+                    f"[0, {num_shards})"
+                )
+            buckets[shard].append(doc_id)
+        return [self.slice_rows(bucket) for bucket in buckets]
 
     # ------------------------------------------------------------------ #
     # Ranking
@@ -448,8 +673,7 @@ class MatrixConceptSpace:
         Queries whose bags are empty or carry no corpus term simply yield an
         empty result list — a zero query norm never raises or produces NaN.
         """
-        if top_k is not None and top_k < 1:
-            raise ConfigurationError(f"top_k must be >= 1 when given, got {top_k}")
+        validate_top_k(top_k)
         if not query_bags:
             return []
         self.refresh()
@@ -667,6 +891,7 @@ class MatrixConceptSpace:
             "num_resources": self._num_resources,
             "shape": [len(self._doc_ids), len(self._terms)],
             "mutable": self._counts is not None,
+            "external_stats": self._external_stats,
         }
         (path / METADATA_FILENAME).write_text(
             json.dumps(metadata), encoding="utf-8"
@@ -714,6 +939,7 @@ class MatrixConceptSpace:
             smooth_idf=metadata["smooth_idf"],
             num_resources=metadata["num_resources"],
             counts=counts,
+            external_stats=bool(metadata.get("external_stats", False)),
         )
 
     # ------------------------------------------------------------------ #

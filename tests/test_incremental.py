@@ -329,6 +329,54 @@ class TestEngineMutationParity:
             RefreshPolicy(max_delta_ops=0)
 
 
+class TestRefreshPolicyEdgeCases:
+    def test_zero_thresholds_are_rejected_not_misinterpreted(self):
+        """A zero threshold would flag a refit on an untouched engine; both
+        knobs reject it up front rather than silently always firing."""
+        with pytest.raises(ConfigurationError):
+            RefreshPolicy(max_delta_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            RefreshPolicy(max_delta_fraction=-0.1)
+        with pytest.raises(ConfigurationError):
+            RefreshPolicy(max_delta_ops=0)
+        # the tightest legal policy fires on the very first mutation ...
+        tight = RefreshPolicy(max_delta_ops=1)
+        assert not tight.refit_due(0, 100)
+        assert tight.refit_due(1, 100)
+        # ... and a zero-resource baseline flags any drift at all
+        assert not RefreshPolicy().refit_due(0, 0)
+        assert RefreshPolicy().refit_due(1, 0)
+
+    def test_remove_then_re_add_counts_both_ops_and_keeps_parity(
+        self, small_cleaned
+    ):
+        """Removing a resource and folding it back in later must count two
+        delta ops (the latent model saw two drift events) while the index
+        itself returns to a state that matches a from-scratch rebuild."""
+        model = identity_concept_model(small_cleaned.tags)
+        engine = SearchEngine.build(
+            small_cleaned,
+            model,
+            name="rr",
+            refresh_policy=RefreshPolicy(max_delta_ops=2),
+        )
+        victim = small_cleaned.resources[0]
+        original_bag = dict(small_cleaned.tag_bag(victim))
+        report = engine.remove_resources([victim])
+        assert not engine.has_resource(victim)
+        assert report.delta_ops == 1 and not report.refit_due
+        report = engine.add_resources({victim: original_bag})
+        assert engine.has_resource(victim)
+        assert report.resources_removed == 1 and report.resources_added == 1
+        assert report.delta_ops == 2 and report.refit_due
+        assert report.current_resources == report.baseline_resources
+        rebuilt = SearchEngine.build(small_cleaned, model, name="rebuild")
+        rng = np.random.default_rng(41)
+        assert_engine_parity(
+            engine, rebuilt, sample_queries(small_cleaned, rng)
+        )
+
+
 class TestOfflineIndexDelta:
     @pytest.fixture(scope="class")
     def fitted_index(self, small_cleaned):

@@ -1,0 +1,778 @@
+"""Parity suite for the sharded serving architecture.
+
+The acceptance bar: a :class:`ShardedSearchEngine` with N ∈ {1, 2, 4}
+shards must reproduce the monolithic :class:`SearchEngine` rankings and
+scores to 1e-9 — on the toy and generated corpora, through add/remove/
+update sequences (coordinated global-statistics refresh), through cache
+hits, and through a sharded save → load round trip.  On top of the parity
+bar, this file covers the router, the heap merge's boundary-tie handling,
+the query cache, the hardened ``rank_batch`` edge cases and per-shard
+staleness reporting.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.concepts import identity_concept_model
+from repro.core.pipeline import CubeLSIPipeline, OfflineIndex
+from repro.core.snapshots import IndexSnapshotStore
+from repro.eval.sharding import rankings_match, sharding_sweep
+from repro.search.cache import QueryCache
+from repro.search.engine import SearchEngine
+from repro.search.incremental import RefreshPolicy, aggregate_reports
+from repro.search.matrix_space import (
+    MatrixConceptSpace,
+    boundary_tie_candidates,
+    select_top_k,
+)
+from repro.search.sharding import (
+    SHARD_MANIFEST_FILENAME,
+    ShardRouter,
+    ShardedSearchEngine,
+    merge_topk,
+)
+from repro.search.vsm import ConceptVectorSpace, RankedResult
+from repro.tagging.delta import FolksonomyDeltaBuilder
+from repro.tagging.folksonomy import Folksonomy
+from repro.utils.errors import ConfigurationError, NotFittedError
+
+SRC_DIR = Path(__file__).resolve().parents[1] / "src"
+SHARD_COUNTS = (1, 2, 4)
+
+
+def sample_queries(folksonomy, rng, count=24):
+    tags = list(folksonomy.tags)
+    queries = [
+        [tags[i] for i in rng.choice(len(tags), size=size, replace=False)]
+        for size in (1, 2, 3)
+        for _ in range(count // 3)
+    ]
+    queries.append([])
+    queries.append(["no-such-tag"])
+    return queries
+
+
+def assert_sharded_parity(sharded, engine, queries, top_k=10, tol=1e-9):
+    """Sharded rankings/scores equal the monolithic ones on every query."""
+    got = sharded.rank_batch(queries, top_k=top_k)
+    want = engine.rank_batch(queries, top_k=top_k)
+    for got_results, want_results in zip(got, want):
+        assert rankings_match(
+            got_results, want_results, tol=tol, truncated=top_k is not None
+        ), (got_results[:3], want_results[:3])
+
+
+@pytest.fixture(scope="module")
+def concept_model(small_cleaned):
+    return identity_concept_model(small_cleaned.tags)
+
+
+@pytest.fixture(scope="module")
+def mono_engine(small_cleaned, concept_model):
+    return SearchEngine.build(small_cleaned, concept_model, name="mono")
+
+
+class TestShardRouter:
+    def test_routing_is_stable_and_total(self):
+        router = ShardRouter(4)
+        again = ShardRouter(4)
+        for resource in (f"r{i:04d}" for i in range(100)):
+            shard = router.shard_of(resource)
+            assert 0 <= shard < 4
+            assert again.shard_of(resource) == shard
+
+    def test_assign_partitions_disjointly_and_roughly_evenly(self):
+        router = ShardRouter(4)
+        resources = [f"resource-{i}" for i in range(1000)]
+        buckets = router.assign(resources)
+        assert sum(len(bucket) for bucket in buckets) == len(resources)
+        assert len({r for bucket in buckets for r in bucket}) == len(resources)
+        for bucket in buckets:  # crc32 spreads ids close to uniformly
+            assert 150 <= len(bucket) <= 350
+
+    def test_json_round_trip_and_validation(self):
+        router = ShardRouter(3)
+        restored = ShardRouter.from_json(router.to_json())
+        assert restored.num_shards == 3
+        assert restored.shard_of("abc") == router.shard_of("abc")
+        with pytest.raises(ConfigurationError):
+            ShardRouter(0)
+        with pytest.raises(ConfigurationError):
+            ShardRouter.from_json({"algorithm": "md5", "num_shards": 2})
+
+
+class TestMergeTopk:
+    def ranked(self, entries):
+        return [
+            RankedResult(resource, score, position)
+            for position, (resource, score) in enumerate(entries, start=1)
+        ]
+
+    def test_merges_and_renumbers(self):
+        merged = merge_topk(
+            [
+                self.ranked([("r2", 0.9), ("r5", 0.4)]),
+                self.ranked([("r1", 0.7), ("r3", 0.2)]),
+                [],
+            ],
+        )
+        assert [(r.resource, r.rank) for r in merged] == [
+            ("r2", 1),
+            ("r1", 2),
+            ("r5", 3),
+            ("r3", 4),
+        ]
+
+    def test_exact_tie_at_boundary_picks_lowest_resource_ids(self):
+        # Three shards each contribute a 0.5-score entry; a top-3 cut
+        # through the tie group must keep the lexicographically smallest
+        # resources, exactly like the monolithic selector.
+        merged = merge_topk(
+            [
+                self.ranked([("r9", 0.8), ("r4", 0.5)]),
+                self.ranked([("r2", 0.5), ("r7", 0.5)]),
+                self.ranked([("r1", 0.5)]),
+            ],
+            top_k=3,
+        )
+        assert [r.resource for r in merged] == ["r9", "r1", "r2"]
+        scores = np.array([0.8, 0.5, 0.5, 0.5, 0.5])
+        positions = np.array([9, 4, 2, 7, 1])
+        selected = select_top_k(positions, scores, 3)
+        assert list(positions[selected]) == [9, 1, 2]
+
+    def test_empty_and_validation(self):
+        assert merge_topk([]) == []
+        assert merge_topk([[], []]) == []
+        with pytest.raises(ConfigurationError):
+            merge_topk([[]], top_k=0)
+
+
+class TestBoundaryTieWidening:
+    def test_helper_widens_to_whole_tie_group(self):
+        scores = np.array([1.0, 0.5, 0.5, 0.5, 0.2])
+        candidates = set(boundary_tie_candidates(scores, 2).tolist())
+        assert candidates == {0, 1, 2, 3}
+        assert boundary_tie_candidates(scores, None).size == scores.size
+        assert boundary_tie_candidates(scores, 10).size == scores.size
+
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("top_k", [1, 2, 3, 4, 6])
+    def test_sharded_merge_equals_monolith_on_exact_rank_k_ties(
+        self, num_shards, top_k
+    ):
+        # Six resources with *identical* tag bags -> identical scores; any
+        # top-k cuts through an exact tie group, the worst case for the
+        # boundary handling on both paths.
+        records = []
+        for index in range(6):
+            records.append(("u", "alpha", f"twin-{index}"))
+            records.append(("u", "beta", f"twin-{index}"))
+        records.append(("u", "alpha", "distinct"))
+        folksonomy = Folksonomy(records, name="ties")
+        model = identity_concept_model(folksonomy.tags)
+        engine = SearchEngine.build(folksonomy, model, name="ties")
+        sharded = ShardedSearchEngine.from_engine(engine, num_shards)
+        want = engine.search(["alpha"], top_k=top_k)
+        got = sharded.search(["alpha"], top_k=top_k)
+        assert [r.resource for r in got] == [r.resource for r in want]
+        for got_result, want_result in zip(got, want):
+            assert got_result.score == pytest.approx(
+                want_result.score, abs=1e-9
+            )
+            assert got_result.rank == want_result.rank
+        sharded.close()
+
+
+class TestStaticParity:
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_generated_corpus_parity(
+        self, small_cleaned, mono_engine, num_shards
+    ):
+        rng = np.random.default_rng(17)
+        sharded = ShardedSearchEngine.from_engine(mono_engine, num_shards)
+        queries = sample_queries(small_cleaned, rng)
+        for top_k in (None, 1, 5, 1000):
+            assert_sharded_parity(sharded, mono_engine, queries, top_k=top_k)
+        for query in queries[:6]:
+            results = mono_engine.search(query, top_k=5)
+            assert sharded.ranked_resources(query, top_k=5) == [
+                r.resource for r in results
+            ]
+            for result in results:
+                assert sharded.score(query, result.resource) == pytest.approx(
+                    result.score, abs=1e-9
+                )
+        assert sharded.num_indexed_resources == mono_engine.num_indexed_resources
+        assert sum(sharded.shard_sizes()) == sharded.num_indexed_resources
+        sharded.close()
+
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_toy_corpus_parity(self, toy_folksonomy, num_shards):
+        model = identity_concept_model(toy_folksonomy.tags)
+        engine = SearchEngine.build(toy_folksonomy, model, name="toy")
+        sharded = ShardedSearchEngine.from_engine(engine, num_shards)
+        for tag in toy_folksonomy.tags:
+            assert_sharded_parity(sharded, engine, [[tag]], top_k=None)
+        sharded.close()
+
+    @pytest.mark.parametrize("smooth_idf", [False, True])
+    def test_smooth_idf_parity_including_unknown_query_mass(
+        self, small_cleaned, concept_model, smooth_idf
+    ):
+        engine = SearchEngine.build(
+            small_cleaned, concept_model, smooth_idf=smooth_idf, name="s"
+        )
+        sharded = ShardedSearchEngine.from_engine(engine, 3)
+        tags = list(small_cleaned.tags)
+        queries = [[tags[0], tags[1]], [tags[2], "tag-unseen-anywhere"]]
+        assert_sharded_parity(sharded, engine, queries, top_k=10)
+        sharded.close()
+
+    def test_pipeline_fitted_engine_parity(self, small_cleaned):
+        pipeline = CubeLSIPipeline(
+            reduction_ratios=(10.0, 3.0, 10.0), num_concepts=12, seed=0, min_rank=4
+        )
+        index = pipeline.fit(small_cleaned)
+        rng = np.random.default_rng(29)
+        sharded = ShardedSearchEngine.from_engine(index.engine, 4)
+        assert_sharded_parity(
+            sharded, index.engine, sample_queries(small_cleaned, rng)
+        )
+        sharded.close()
+
+    def test_from_engine_requires_matrix_backend(
+        self, small_cleaned, concept_model
+    ):
+        dict_engine = SearchEngine.build(
+            small_cleaned, concept_model, name="d", matrix_backend=False
+        )
+        with pytest.raises(ConfigurationError):
+            ShardedSearchEngine.from_engine(dict_engine, 2)
+
+    def test_router_shard_count_mismatch_rejected(self, mono_engine):
+        with pytest.raises(ConfigurationError):
+            ShardedSearchEngine.from_engine(
+                mono_engine, num_shards=2, router=ShardRouter(3)
+            )
+        with pytest.raises(ConfigurationError):
+            ShardedSearchEngine.from_engine(mono_engine)
+
+
+class TestMutationParity:
+    def build_pair(self, folksonomy, num_shards, seed=0):
+        model = identity_concept_model(folksonomy.tags)
+        engine = SearchEngine.build(folksonomy, model, name="mut")
+        sharded = ShardedSearchEngine.from_engine(engine, num_shards)
+        return engine, sharded
+
+    @pytest.mark.parametrize("num_shards", [2, 4])
+    def test_mutation_sequences_stay_in_parity(
+        self, small_cleaned, num_shards
+    ):
+        rng = np.random.default_rng(5)
+        engine, sharded = self.build_pair(small_cleaned, num_shards)
+        tags = list(small_cleaned.tags)
+        queries = sample_queries(small_cleaned, rng)
+
+        batches = [
+            dict(
+                added={
+                    "fresh-a": {tags[0]: 2.0, tags[3]: 1.0},
+                    "fresh-b": {tags[1]: 1.0, "tag-never-seen": 2.0},
+                }
+            ),
+            dict(updated={small_cleaned.resources[1]: {tags[2]: 3.0}}),
+            dict(removed=[small_cleaned.resources[0], "fresh-a"]),
+            dict(
+                added={"fresh-c": {tags[4]: 1.0}},
+                updated={"fresh-b": {tags[5]: 2.0}},
+                removed=[small_cleaned.resources[2]],
+            ),
+        ]
+        for batch in batches:
+            want_report = engine.apply_mutations(**batch)
+            got_report = sharded.apply_mutations(**batch)
+            assert got_report.epoch == want_report.epoch
+            assert got_report.delta_ops == want_report.delta_ops
+            assert_sharded_parity(sharded, engine, queries)
+            assert_sharded_parity(sharded, engine, queries, top_k=None)
+        assert sharded.num_indexed_resources == engine.num_indexed_resources
+        sharded.close()
+
+    def test_draining_one_shard_empty_keeps_serving(self, small_cleaned):
+        engine, sharded = self.build_pair(small_cleaned, 2)
+        rng = np.random.default_rng(7)
+        victims = [
+            resource
+            for resource in small_cleaned.resources
+            if sharded.router.shard_of(resource) == 0
+        ]
+        assert victims  # the corpus is large enough to populate both shards
+        engine.remove_resources(victims)
+        sharded.remove_resources(victims)
+        assert 0 in sharded.shard_sizes()
+        queries = sample_queries(small_cleaned, rng)
+        assert_sharded_parity(sharded, engine, queries)
+        # the drained shard accepts new residents again
+        revived = {victims[0]: {small_cleaned.tags[0]: 2.0}}
+        engine.add_resources(revived)
+        sharded.add_resources(revived)
+        assert_sharded_parity(sharded, engine, queries)
+        sharded.close()
+
+    def test_validation_mirrors_monolith_without_side_effects(
+        self, small_cleaned
+    ):
+        _, sharded = self.build_pair(small_cleaned, 2)
+        existing = small_cleaned.resources[0]
+        with pytest.raises(ConfigurationError):
+            sharded.add_resources({existing: {"a": 1}})
+        with pytest.raises(ConfigurationError):
+            sharded.remove_resources(["missing-resource"])
+        with pytest.raises(ConfigurationError):
+            sharded.update_resource("missing-resource", {"a": 1})
+        with pytest.raises(ConfigurationError):
+            sharded.remove_resources(list(small_cleaned.resources))
+        with pytest.raises(ConfigurationError):
+            sharded.apply_mutations(
+                updated={existing: {"a": 1}}, removed=[existing]
+            )
+        assert sharded.epoch == 0
+        assert sharded.num_indexed_resources == small_cleaned.num_resources
+        sharded.close()
+
+    def test_shard_local_refresh_is_rejected_while_stale(self, small_cleaned):
+        _, sharded = self.build_pair(small_cleaned, 2)
+        sharded.add_resources({"fresh": {small_cleaned.tags[0]: 1.0}})
+        stale = [shard for shard in sharded.shards if shard.is_stale]
+        assert stale
+        with pytest.raises(ConfigurationError):
+            stale[0].refresh()
+        # the coordinated refresh is the sanctioned path
+        assert sharded.refresh()
+        assert not any(shard.is_stale for shard in sharded.shards)
+        sharded.close()
+
+
+class TestQueryCache:
+    def test_canonical_key_is_order_insensitive_multiset(self):
+        key = QueryCache.canonical_key
+        assert key(["b", "a"], 5, 0) == key(["a", "b"], 5, 0)
+        assert key(["a", "a"], 5, 0) != key(["a"], 5, 0)
+        assert key(["a"], 5, 0) != key(["a"], 6, 0)
+        assert key(["a"], 5, 0) != key(["a"], 5, 1)
+
+    def test_lru_eviction_and_stats(self):
+        cache = QueryCache(max_entries=2)
+        cache.put("k1", [RankedResult("r1", 1.0, 1)])
+        cache.put("k2", [RankedResult("r2", 1.0, 1)])
+        assert cache.get("k1") is not None  # refresh k1's recency
+        cache.put("k3", [RankedResult("r3", 1.0, 1)])  # evicts k2
+        assert cache.get("k2") is None
+        assert cache.get("k1") is not None and cache.get("k3") is not None
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["entries"] == 2
+        assert stats["hits"] == 3 and stats["misses"] == 1
+        assert 0.0 < cache.hit_rate < 1.0
+        cache.clear()
+        assert len(cache) == 0
+        with pytest.raises(ConfigurationError):
+            QueryCache(max_entries=0)
+
+    def test_hit_returns_a_fresh_list(self):
+        cache = QueryCache()
+        cache.put("k", [RankedResult("r1", 1.0, 1)])
+        first = cache.get("k")
+        first.append(RankedResult("bogus", 0.0, 2))
+        assert len(cache.get("k")) == 1
+
+    def test_engine_cache_hits_preserve_parity(
+        self, small_cleaned, mono_engine
+    ):
+        rng = np.random.default_rng(11)
+        sharded = ShardedSearchEngine.from_engine(mono_engine, 2)
+        queries = sample_queries(small_cleaned, rng)
+        cold = sharded.rank_batch(queries, top_k=10)
+        warm = sharded.rank_batch(queries, top_k=10)
+        assert sharded.cache.hits > 0
+        for cold_results, warm_results in zip(cold, warm):
+            assert [r.resource for r in warm_results] == [
+                r.resource for r in cold_results
+            ]
+        assert_sharded_parity(sharded, mono_engine, queries)
+        sharded.close()
+
+    def test_duplicate_queries_in_one_batch_scored_once(
+        self, small_cleaned, mono_engine
+    ):
+        sharded = ShardedSearchEngine.from_engine(mono_engine, 2)
+        tag = small_cleaned.tags[0]
+        batch = [[tag], [tag], [tag]]
+        results = sharded.rank_batch(batch, top_k=5)
+        assert sharded.cache.misses == 1  # one unique canonical key
+        assert [r.resource for r in results[0]] == [
+            r.resource for r in results[1]
+        ] == [r.resource for r in results[2]]
+        sharded.close()
+
+    def test_mutation_invalidates_cache(self, small_cleaned):
+        model = identity_concept_model(small_cleaned.tags)
+        engine = SearchEngine.build(small_cleaned, model, name="inv")
+        sharded = ShardedSearchEngine.from_engine(engine, 2)
+        query = [small_cleaned.tags[0]]
+        before = sharded.search(query, top_k=5)
+        assert sharded.search(query, top_k=5)  # warm the cache
+        assert len(sharded.cache) > 0
+        engine.add_resources({"cache-buster": {small_cleaned.tags[0]: 9.0}})
+        sharded.add_resources({"cache-buster": {small_cleaned.tags[0]: 9.0}})
+        assert len(sharded.cache) == 0  # cleared on mutation
+        after = sharded.search(query, top_k=5)
+        assert after != before  # the new resource actually surfaced
+        want = engine.search(query, top_k=5)
+        assert [r.resource for r in after] == [r.resource for r in want]
+        sharded.close()
+
+
+class TestRankBatchHardening:
+    def test_empty_batch_returns_well_typed_empty(
+        self, small_cleaned, mono_engine
+    ):
+        sharded = ShardedSearchEngine.from_engine(mono_engine, 2)
+        assert mono_engine.rank_batch([]) == []
+        assert sharded.rank_batch([]) == []
+        dict_engine = SearchEngine.build(
+            small_cleaned,
+            identity_concept_model(small_cleaned.tags),
+            name="d",
+            matrix_backend=False,
+        )
+        assert dict_engine.rank_batch([]) == []
+        sharded.close()
+
+    def test_all_unknown_tags_yield_empty_lists(self, mono_engine):
+        sharded = ShardedSearchEngine.from_engine(mono_engine, 2)
+        batch = [["zzz-unknown"], [], ["another-unknown", "more-unknown"]]
+        assert mono_engine.rank_batch(batch, top_k=5) == [[], [], []]
+        assert sharded.rank_batch(batch, top_k=5) == [[], [], []]
+        assert mono_engine.search(["zzz-unknown"]) == []
+        assert sharded.search(["zzz-unknown"]) == []
+        sharded.close()
+
+    def test_invalid_top_k_rejected_even_without_scorable_queries(
+        self, mono_engine
+    ):
+        sharded = ShardedSearchEngine.from_engine(mono_engine, 2)
+        for engine in (mono_engine, sharded):
+            with pytest.raises(ConfigurationError):
+                engine.rank_batch([["zzz-unknown"]], top_k=0)
+            with pytest.raises(ConfigurationError):
+                engine.rank_batch([], top_k=-3)
+            with pytest.raises(ConfigurationError):
+                engine.search([], top_k=0)
+        sharded.close()
+
+
+class TestShardStaleness:
+    def test_per_shard_reports_aggregate_to_engine_report(
+        self, small_cleaned
+    ):
+        model = identity_concept_model(small_cleaned.tags)
+        engine = SearchEngine.build(small_cleaned, model, name="agg")
+        sharded = ShardedSearchEngine.from_engine(engine, 3)
+        tags = list(small_cleaned.tags)
+        sharded.add_resources(
+            {f"agg-{i}": {tags[i]: 1.0} for i in range(4)}
+        )
+        sharded.remove_resources([small_cleaned.resources[0]])
+        reports = sharded.shard_staleness()
+        assert len(reports) == 3
+        assert sum(r.resources_added for r in reports) == 4
+        assert sum(r.resources_removed for r in reports) == 1
+        rolled = sharded.aggregated_shard_staleness()
+        overall = sharded.staleness()
+        assert rolled.delta_ops == overall.delta_ops
+        assert rolled.baseline_resources == overall.baseline_resources
+        assert rolled.current_resources == overall.current_resources
+        assert rolled.refit_due == overall.refit_due
+        assert rolled.epoch == overall.epoch
+        sharded.close()
+
+    def test_hot_shard_flags_refit_before_the_corpus_does(
+        self, small_cleaned
+    ):
+        model = identity_concept_model(small_cleaned.tags)
+        engine = SearchEngine.build(
+            small_cleaned,
+            model,
+            name="hot",
+            refresh_policy=RefreshPolicy(max_delta_fraction=0.5),
+        )
+        sharded = ShardedSearchEngine.from_engine(engine, 4)
+        # churn only resources living on one shard
+        hot = [
+            resource
+            for resource in small_cleaned.resources
+            if sharded.router.shard_of(resource) == 1
+        ]
+        for resource in hot:
+            sharded.update_resource(
+                resource, {small_cleaned.tags[0]: 2.0}
+            )
+        reports = sharded.shard_staleness()
+        assert reports[1].refit_due  # 100% of shard 1 churned
+        assert not sharded.staleness().refit_due  # corpus-level drift small
+        sharded.close()
+
+    def test_aggregate_reports_validation(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_reports([], RefreshPolicy())
+
+
+class TestShardedPersistence:
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_save_load_round_trip_parity(
+        self, small_cleaned, mono_engine, tmp_path, num_shards
+    ):
+        rng = np.random.default_rng(13)
+        sharded = ShardedSearchEngine.from_engine(mono_engine, num_shards)
+        sharded.save(tmp_path)
+        loaded = ShardedSearchEngine.load(tmp_path)
+        assert loaded.num_shards == num_shards
+        assert loaded.name == mono_engine.name
+        assert loaded.cache is not None
+        for shard in loaded.shards:
+            assert shard.has_external_stats
+        queries = sample_queries(small_cleaned, rng)
+        assert_sharded_parity(loaded, mono_engine, queries)
+        sharded.close()
+        loaded.close()
+
+    def test_save_load_then_mutate_stays_in_parity(self, small_cleaned, tmp_path):
+        model = identity_concept_model(small_cleaned.tags)
+        engine = SearchEngine.build(small_cleaned, model, name="slm")
+        sharded = ShardedSearchEngine.from_engine(engine, 2)
+        sharded.save(tmp_path)
+        loaded = ShardedSearchEngine.load(tmp_path)
+        batch = dict(
+            added={"post-load": {small_cleaned.tags[0]: 2.0}},
+            removed=[small_cleaned.resources[0]],
+        )
+        engine.apply_mutations(**batch)
+        loaded.apply_mutations(**batch)
+        rng = np.random.default_rng(19)
+        assert_sharded_parity(loaded, engine, sample_queries(small_cleaned, rng))
+        sharded.close()
+        loaded.close()
+
+    def test_load_one_shard_serves_with_global_statistics(
+        self, small_cleaned, mono_engine, tmp_path
+    ):
+        sharded = ShardedSearchEngine.from_engine(mono_engine, 3)
+        sharded.save(tmp_path)
+        shard_engine = ShardedSearchEngine.load_shard(tmp_path, 1)
+        shard_docs = set(sharded.shards[1].doc_ids)
+        assert shard_docs
+        query = [small_cleaned.tags[0], small_cleaned.tags[1]]
+        for result in shard_engine.search(query, top_k=None):
+            assert result.resource in shard_docs
+            assert mono_engine.score(query, result.resource) == pytest.approx(
+                result.score, abs=1e-9
+            )
+        # one-shard processes are read-only: statistics are corpus-wide
+        with pytest.raises(ConfigurationError):
+            shard_engine.add_resources({"nope": {small_cleaned.tags[0]: 1.0}})
+        with pytest.raises(ConfigurationError):
+            ShardedSearchEngine.load_shard(tmp_path, 7)
+        sharded.close()
+
+    def test_resave_with_fewer_shards_prunes_stale_dirs(
+        self, small_cleaned, mono_engine, tmp_path
+    ):
+        wide = ShardedSearchEngine.from_engine(mono_engine, 4)
+        wide.save(tmp_path)
+        narrow = ShardedSearchEngine.from_engine(mono_engine, 2)
+        narrow.save(tmp_path)
+        assert sorted(p.name for p in tmp_path.glob("shard-*")) == [
+            "shard-0000",
+            "shard-0001",
+        ]
+        loaded = ShardedSearchEngine.load(tmp_path)
+        assert loaded.num_shards == 2
+        rng = np.random.default_rng(43)
+        assert_sharded_parity(
+            loaded, mono_engine, sample_queries(small_cleaned, rng)
+        )
+        wide.close()
+        narrow.close()
+        loaded.close()
+
+    def test_load_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            ShardedSearchEngine.load(tmp_path / "nowhere")
+        with pytest.raises(NotFittedError):
+            ShardedSearchEngine.load_shard(tmp_path / "nowhere", 0)
+
+    def test_round_trip_in_fresh_process(
+        self, small_cleaned, mono_engine, tmp_path
+    ):
+        sharded = ShardedSearchEngine.from_engine(mono_engine, 2)
+        sharded.save(tmp_path)
+        query_tag = small_cleaned.tags[0]
+        expected = mono_engine.search([query_tag], top_k=5)
+        script = (
+            "import json, sys\n"
+            "from repro.search.sharding import ShardedSearchEngine\n"
+            "engine = ShardedSearchEngine.load(sys.argv[1])\n"
+            "results = engine.search([sys.argv[2]], top_k=5)\n"
+            "print(json.dumps([[r.resource, r.score] for r in results]))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+        output = subprocess.run(
+            [sys.executable, "-c", script, str(tmp_path), query_tag],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        ).stdout
+        fresh = json.loads(output.strip().splitlines()[-1])
+        assert [resource for resource, _ in fresh] == [
+            r.resource for r in expected
+        ]
+        for (_, score), result in zip(fresh, expected):
+            assert score == pytest.approx(result.score, abs=1e-9)
+        sharded.close()
+
+
+class TestOfflineIndexSharding:
+    @pytest.fixture(scope="class")
+    def fitted_index(self, small_cleaned):
+        pipeline = CubeLSIPipeline(
+            reduction_ratios=(10.0, 3.0, 10.0), num_concepts=12, seed=0, min_rank=4
+        )
+        return pipeline.fit(small_cleaned)
+
+    def test_save_with_num_shards_round_trips_sharded(
+        self, fitted_index, tmp_path
+    ):
+        rng = np.random.default_rng(23)
+        fitted_index.save(tmp_path, include_folksonomy=True, num_shards=2)
+        assert (tmp_path / SHARD_MANIFEST_FILENAME).exists()
+        loaded = OfflineIndex.load(tmp_path)
+        assert isinstance(loaded.engine, ShardedSearchEngine)
+        assert loaded.engine.num_shards == 2
+        queries = sample_queries(fitted_index.folksonomy, rng)
+        assert_sharded_parity(loaded.engine, fitted_index.engine, queries)
+        # the restored sharded index keeps hot-applying deltas
+        delta = (
+            FolksonomyDeltaBuilder()
+            .add_resource(
+                "sharded-delta", {"user-x": [fitted_index.folksonomy.tags[0]]}
+            )
+            .build()
+        )
+        report = loaded.apply_delta(delta)
+        assert report.resources_added == 1
+        assert loaded.engine.has_resource("sharded-delta")
+        rebuilt = SearchEngine.build(
+            loaded.folksonomy, loaded.concept_model, name="rebuild"
+        )
+        assert_sharded_parity(loaded.engine, rebuilt, queries)
+        loaded.engine.close()
+
+    def test_overwriting_layouts_never_mixes_artefacts(
+        self, fitted_index, tmp_path
+    ):
+        fitted_index.save(tmp_path, num_shards=2)
+        fitted_index.save(tmp_path)  # back to monolithic
+        assert not (tmp_path / SHARD_MANIFEST_FILENAME).exists()
+        loaded = OfflineIndex.load(tmp_path)
+        assert isinstance(loaded.engine, SearchEngine)
+        fitted_index.save(tmp_path, num_shards=3)  # and sharded again
+        loaded = OfflineIndex.load(tmp_path)
+        assert isinstance(loaded.engine, ShardedSearchEngine)
+        assert loaded.engine.num_shards == 3
+        loaded.engine.close()
+
+    def test_resharding_a_sharded_engine_is_rejected(
+        self, fitted_index, tmp_path
+    ):
+        sharded_index = OfflineIndex(
+            concept_model=fitted_index.concept_model,
+            engine=ShardedSearchEngine.from_engine(fitted_index.engine, 2),
+            timings=dict(fitted_index.timings),
+            folksonomy=fitted_index.folksonomy,
+        )
+        with pytest.raises(ConfigurationError):
+            sharded_index.save(tmp_path, num_shards=4)
+        sharded_index.save(tmp_path, num_shards=2)  # matching count is fine
+        sharded_index.engine.close()
+
+    def test_snapshot_store_checkpoints_sharded_layout(
+        self, small_cleaned, tmp_path
+    ):
+        rng = np.random.default_rng(31)
+        pipeline = CubeLSIPipeline(
+            reduction_ratios=(10.0, 3.0, 10.0), num_concepts=10, seed=0, min_rank=4
+        )
+        index = pipeline.fit(small_cleaned)
+        store = IndexSnapshotStore(tmp_path / "snapshots")
+        first = store.save(index, num_shards=2)
+        assert (first / SHARD_MANIFEST_FILENAME).exists()
+        serving = store.load()
+        assert isinstance(serving.engine, ShardedSearchEngine)
+        queries = sample_queries(small_cleaned, rng)
+        assert_sharded_parity(serving.engine, index.engine, queries)
+        # the restored snapshot accepts deltas and re-checkpoints sharded
+        delta = (
+            FolksonomyDeltaBuilder()
+            .add_resource("snap-res", {"user-z": [small_cleaned.tags[0]]})
+            .build()
+        )
+        serving.apply_delta(delta)
+        second = store.save(serving)
+        assert (second / SHARD_MANIFEST_FILENAME).exists()
+        assert store.latest_epoch() == serving.engine.epoch
+        serving.engine.close()
+
+
+class TestShardingSweepHarness:
+    def test_sweep_reports_and_enforces_parity(self, small_cleaned, mono_engine):
+        rng = np.random.default_rng(37)
+        queries = sample_queries(small_cleaned, rng, count=12)
+        rows = sharding_sweep(
+            mono_engine, queries, shard_counts=(1, 2), top_k=10, repeats=1
+        )
+        assert [row["Shards"] for row in rows] == [0, 1, 2]
+        assert all(row["Seconds"] > 0 for row in rows)
+        with pytest.raises(ConfigurationError):
+            sharding_sweep(mono_engine, [], shard_counts=(1,))
+
+
+class TestSlicedSpaces:
+    def test_slice_rows_validation(self):
+        space = MatrixConceptSpace.compile(
+            ConceptVectorSpace().fit({"r1": {"a": 1}, "r2": {"b": 2}})
+        )
+        with pytest.raises(ConfigurationError):
+            space.slice_rows(["r1", "r1"])
+        with pytest.raises(ConfigurationError):
+            space.slice_rows(["ghost"])
+        with pytest.raises(ConfigurationError):
+            space.partition(0, lambda doc: 0)
+        with pytest.raises(ConfigurationError):
+            space.partition(2, lambda doc: 5)
+        shard = space.slice_rows(["r2"])
+        assert shard.has_external_stats
+        assert shard.doc_ids == ("r2",)
+        assert shard.num_resources == space.num_resources  # global N
