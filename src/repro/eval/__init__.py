@@ -10,6 +10,9 @@
   against a serving index (the streaming-update workload).
 * :mod:`repro.eval.sharding` — parity + throughput sweep of sharded
   engines against the monolithic baseline.
+* :mod:`repro.eval.workload` — workload replay sweep: concurrent replay
+  throughput at increasing worker counts, parity with the serial golden
+  enforced.
 """
 
 from repro.eval.ndcg import (
@@ -33,6 +36,7 @@ from repro.eval.incremental import (
     replay_deltas,
 )
 from repro.eval.sharding import rankings_match, sharding_sweep
+from repro.eval.workload import workload_sweep
 
 __all__ = [
     "dcg_at",
@@ -53,4 +57,5 @@ __all__ = [
     "replay_deltas",
     "rankings_match",
     "sharding_sweep",
+    "workload_sweep",
 ]

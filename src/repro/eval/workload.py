@@ -1,0 +1,90 @@
+"""Workload replay sweep: throughput vs worker count, parity enforced.
+
+:func:`workload_sweep` is to the workload subsystem what
+:func:`repro.eval.sharding.sharding_sweep` is to sharding: it replays one
+deterministic trace serially (the golden reference, ``Workers == 0``) and
+then concurrently at increasing worker counts, verifies every concurrent
+run against the golden with :func:`repro.load.check_replay_parity`, and
+returns rows for :func:`repro.eval.reporting.format_table` — throughput,
+query latency quantiles and error counts per run.  A fast replay that
+diverged from the golden raises instead of reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.load.invariants import PARITY_TOL, check_replay_parity
+from repro.load.runner import WorkloadReport, WorkloadRunner, quiesced_rankings
+from repro.load.workload import QUERY, WorkloadTrace
+from repro.utils.errors import ConfigurationError
+
+
+def _report_row(report: WorkloadReport) -> Dict[str, object]:
+    queries = report.latencies[QUERY]
+    return {
+        "Workers": report.num_workers,
+        "Mode": report.mode,
+        "Seconds": round(report.wall_seconds, 6),
+        "Ops/s": round(report.ops_per_second, 1),
+        "Query p50": f"{queries.quantile(0.5) * 1e3:.2f}ms",
+        "Query p99": f"{queries.quantile(0.99) * 1e3:.2f}ms",
+        "Errors": len(report.errors),
+    }
+
+
+def workload_sweep(
+    build_engine: Callable[[], object],
+    trace: WorkloadTrace,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    tol: float = PARITY_TOL,
+) -> Tuple[List[Dict[str, object]], List[WorkloadReport]]:
+    """Replay ``trace`` at each worker count; return table rows + reports.
+
+    ``build_engine`` must produce a freshly built, identically configured
+    engine per call (each replay mutates its own instance).  The serial
+    golden runs once and every concurrent run is parity-checked against
+    it — errors, state divergence, probe-ranking drift beyond ``tol`` or
+    an epoch regression all raise :class:`ConfigurationError`.  Returned
+    reports are ordered like the rows: golden first, then one per worker
+    count.
+    """
+    if not worker_counts:
+        raise ConfigurationError("workload_sweep needs >= 1 worker count")
+    if any(count < 1 for count in worker_counts):
+        raise ConfigurationError(
+            f"worker counts must be >= 1, got {tuple(worker_counts)}"
+        )
+
+    golden_engine = build_engine()
+    try:
+        golden = WorkloadRunner(golden_engine, trace).run_serial()
+        if golden.errors:
+            raise ConfigurationError(
+                f"serial golden replay raised {len(golden.errors)} error(s); "
+                f"first: {golden.errors[0].splitlines()[-1]}"
+            )
+        rows = [_report_row(golden)]
+        reports = [golden]
+        golden_rankings = quiesced_rankings(golden_engine, trace)
+        for num_workers in worker_counts:
+            verdict = check_replay_parity(
+                build_engine,
+                trace,
+                num_workers=num_workers,
+                tol=tol,
+                serial_report=golden,
+                serial_rankings=golden_rankings,
+            )
+            if not verdict.ok:
+                raise ConfigurationError(
+                    f"{num_workers}-worker replay violated invariants:\n"
+                    + "\n".join(verdict.violations)
+                )
+            rows.append(_report_row(verdict.concurrent))
+            reports.append(verdict.concurrent)
+        return rows, reports
+    finally:
+        closer = getattr(golden_engine, "close", None)
+        if callable(closer):
+            closer()

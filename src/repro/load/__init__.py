@@ -1,0 +1,58 @@
+"""Workload simulation and deterministic replay for the serving stack.
+
+Everything the repo's parity suites check is serial and hand-enumerated;
+this package drives the serving engines the way production would —
+sustained mixed read/write traffic from many concurrent clients — while
+keeping every run reproducible from one seed:
+
+* :mod:`repro.load.workload` — seeded :class:`WorkloadGenerator` emitting
+  mixed traces (Zipf-skewed queries, cache-hot repeats, add/update/remove
+  batches, refresh ticks) that are valid by construction when replayed in
+  order;
+* :mod:`repro.load.runner` — :class:`WorkloadRunner` replaying a trace
+  serially (the golden reference) or across N worker threads with
+  mutations admitted in trace order, recording per-op-kind latency
+  histograms, throughput and an epoch-observation audit;
+* :mod:`repro.load.invariants` — :func:`check_replay_parity`, asserting
+  that a concurrent replay errors nowhere, converges to the serial final
+  state, ranks the trace's evaluation probes identically to 1e-9 after
+  quiescing, and never let any reader observe the epoch run backwards.
+"""
+
+from repro.load.workload import (
+    MUTATE,
+    QUERY,
+    REFRESH,
+    Operation,
+    WorkloadConfig,
+    WorkloadGenerator,
+    WorkloadTrace,
+)
+from repro.load.runner import (
+    LatencyHistogram,
+    WorkloadReport,
+    WorkloadRunner,
+    quiesced_rankings,
+)
+from repro.load.invariants import (
+    PARITY_TOL,
+    ReplayParityReport,
+    check_replay_parity,
+)
+
+__all__ = [
+    "MUTATE",
+    "QUERY",
+    "REFRESH",
+    "Operation",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "WorkloadTrace",
+    "LatencyHistogram",
+    "WorkloadReport",
+    "WorkloadRunner",
+    "quiesced_rankings",
+    "PARITY_TOL",
+    "ReplayParityReport",
+    "check_replay_parity",
+]

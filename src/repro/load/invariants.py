@@ -1,0 +1,170 @@
+"""Replay invariants: what must hold after any replay of one trace.
+
+The contract the serving layer's read/write discipline buys, stated as
+checkable properties over a serial golden replay and a concurrent stress
+replay of the *same* trace on *equally built* engines:
+
+1. **zero errors** — no operation of either replay may raise;
+2. **state convergence** — final epoch and resource count agree (the
+   mutation gate makes the concurrent final state well-defined);
+3. **ranking parity** — after both engines quiesce, the trace's fixed
+   evaluation probes rank identically to 1e-9 (tie groups may permute,
+   exactly the tolerance of the sharded parity suites);
+4. **epoch monotonicity** — no replay worker ever observed the index
+   epoch run backwards through its epoch-consistent snapshot reads.
+
+:func:`check_replay_parity` builds both engines from one factory, runs
+both replays, verifies all four properties and returns a
+:class:`ReplayParityReport` with the verdict and both workload reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.load.runner import WorkloadReport, WorkloadRunner, quiesced_rankings
+from repro.load.workload import WorkloadTrace
+from repro.utils.errors import ConfigurationError
+
+#: The ranking parity tolerance shared with the sharded parity suites.
+PARITY_TOL = 1e-9
+
+
+@dataclass
+class ReplayParityReport:
+    """Verdict of one serial-vs-concurrent replay comparison."""
+
+    serial: WorkloadReport
+    concurrent: WorkloadReport
+    violations: List[str]
+    mismatched_probes: List[int]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        """Multi-line verdict + both replay summaries (CI artefact body)."""
+        lines = [
+            "replay parity: " + ("OK" if self.ok else "VIOLATED"),
+        ]
+        lines.extend(f"  violation: {violation}" for violation in self.violations)
+        lines.append("-- serial golden --")
+        lines.append(self.serial.summary())
+        lines.append(f"-- concurrent x{self.concurrent.num_workers} --")
+        lines.append(self.concurrent.summary())
+        return "\n".join(lines)
+
+
+def check_replay_parity(
+    build_engine: Callable[[], object],
+    trace: WorkloadTrace,
+    num_workers: int = 4,
+    tol: float = PARITY_TOL,
+    serial_report: Optional[WorkloadReport] = None,
+    serial_engine: Optional[object] = None,
+    serial_rankings: Optional[Tuple[int, List[list]]] = None,
+) -> ReplayParityReport:
+    """Replay ``trace`` serially and concurrently; verify the invariants.
+
+    ``build_engine`` must return a *freshly built, identically configured*
+    engine on every call — each replay mutates its own instance.  Engines
+    exposing ``close`` (the sharded fan-out pool) are closed before
+    returning.  Callers that already hold a serial golden run (e.g. a
+    sweep comparing several worker counts against one golden) can pass
+    ``serial_report`` plus either ``serial_rankings`` (the
+    :func:`~repro.load.runner.quiesced_rankings` pair, so the probes are
+    not re-ranked per call) or ``serial_engine`` to derive them; a
+    caller-provided serial engine is *not* closed here.
+    """
+    # Deferred: repro.eval.workload wraps this checker, so importing the
+    # comparator at module scope would make repro.load and repro.eval
+    # mutually dependent at import time.
+    from repro.eval.sharding import rankings_match
+
+    if num_workers < 1:
+        raise ConfigurationError(
+            f"num_workers must be >= 1, got {num_workers}"
+        )
+    own_serial = serial_report is None
+    if own_serial:
+        serial_engine = build_engine()
+        serial_report = WorkloadRunner(serial_engine, trace).run_serial()
+    elif serial_rankings is None and serial_engine is None:
+        raise ConfigurationError(
+            "serial_report without serial_rankings or serial_engine: the "
+            "quiesced golden rankings cannot be recovered"
+        )
+    if serial_rankings is None:
+        serial_rankings = quiesced_rankings(serial_engine, trace)
+
+    concurrent_engine = build_engine()
+    try:
+        concurrent_report = WorkloadRunner(
+            concurrent_engine, trace
+        ).run_concurrent(num_workers)
+
+        violations: List[str] = []
+        mismatched: List[int] = []
+        for label, report in (
+            ("serial", serial_report),
+            ("concurrent", concurrent_report),
+        ):
+            if report.errors:
+                violations.append(
+                    f"{label} replay raised {len(report.errors)} error(s); "
+                    f"first: {report.errors[0].splitlines()[-1]}"
+                )
+        if concurrent_report.final_epoch != serial_report.final_epoch:
+            violations.append(
+                f"final epoch diverged: serial {serial_report.final_epoch} "
+                f"vs concurrent {concurrent_report.final_epoch}"
+            )
+        if concurrent_report.final_resources != serial_report.final_resources:
+            violations.append(
+                "final resource count diverged: serial "
+                f"{serial_report.final_resources} vs concurrent "
+                f"{concurrent_report.final_resources}"
+            )
+        regressions = concurrent_report.epoch_log.regressions()
+        if regressions:
+            reader, seen, then = regressions[0]
+            violations.append(
+                f"epoch ran backwards for {reader}: observed {seen} then "
+                f"{then} ({len(regressions)} regression(s) total)"
+            )
+
+        want_epoch, want = serial_rankings
+        got_epoch, got = quiesced_rankings(concurrent_engine, trace)
+        if want_epoch != got_epoch:
+            violations.append(
+                f"quiesced epochs diverged: serial {want_epoch} vs "
+                f"concurrent {got_epoch}"
+            )
+        truncated = trace.config.top_k is not None
+        for probe, (got_results, want_results) in enumerate(zip(got, want)):
+            if not rankings_match(
+                got_results, want_results, tol=tol, truncated=truncated
+            ):
+                mismatched.append(probe)
+        if mismatched:
+            violations.append(
+                f"{len(mismatched)} of {len(want)} evaluation probes "
+                f"diverged beyond {tol:g} (first: probe {mismatched[0]}, "
+                f"query {trace.eval_queries[mismatched[0]]!r})"
+            )
+        return ReplayParityReport(
+            serial=serial_report,
+            concurrent=concurrent_report,
+            violations=violations,
+            mismatched_probes=mismatched,
+        )
+    finally:
+        closer = getattr(concurrent_engine, "close", None)
+        if callable(closer):
+            closer()
+        if own_serial:
+            closer = getattr(serial_engine, "close", None)
+            if callable(closer):
+                closer()

@@ -1,0 +1,388 @@
+"""Trace replay: serial golden runs and concurrent stress runs.
+
+:class:`WorkloadRunner` replays a :class:`~repro.load.workload.WorkloadTrace`
+against a serving engine (monolithic :class:`~repro.search.engine.SearchEngine`
+or :class:`~repro.search.sharding.ShardedSearchEngine` — anything with the
+``snapshot_rank_batch`` / ``apply_mutations`` / ``refresh`` surface):
+
+* **serially** — one thread, trace order; the replay every other run is
+  judged against;
+* **concurrently** — N worker threads pull operations from a shared
+  cursor.  Queries execute wherever they land; mutation batches pass
+  through an ordering gate that admits them strictly in ``mutation_seq``
+  order, so the final index state is *defined* to equal the serial
+  replay's (queries interleave freely in between — that interleaving is
+  the stress).
+
+Every operation is timed into a per-kind :class:`LatencyHistogram`
+(log-spaced buckets, mergeable across workers without locks), every query
+goes through the engine's epoch-consistent ``snapshot_rank_batch`` and
+feeds an :class:`~repro.search.incremental.EpochObservationLog`, and every
+worker exception is captured — a :class:`WorkloadReport` then carries
+throughput, latency quantiles, the epoch audit and the error list back to
+the invariant checker.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.load.workload import MUTATE, QUERY, REFRESH, Operation, WorkloadTrace
+from repro.search.incremental import EpochObservationLog
+from repro.utils.errors import ConfigurationError
+from repro.utils.timing import format_duration
+
+#: Lower edge of the first latency bucket (1 microsecond).
+_BUCKET_FLOOR = 1e-6
+#: Geometric bucket growth factor; 40 buckets span 1us .. ~18min.
+_BUCKET_FACTOR = 2.0
+_NUM_BUCKETS = 40
+
+
+class LatencyHistogram:
+    """Log-spaced latency histogram with exact count/sum/min/max.
+
+    Buckets grow geometrically from one microsecond, so one histogram
+    covers cache-hit lookups and multi-second refreshes alike; quantile
+    estimates are conservative upper bucket edges (see :meth:`quantile`).
+    Instances are cheap and *not* thread-safe by design: each replay
+    worker records into its own set and the runner :meth:`merge`\\ s them
+    afterwards, which keeps the measurement itself off the hot path's
+    lock profile.
+    """
+
+    def __init__(self) -> None:
+        self._counts = [0] * (_NUM_BUCKETS + 1)
+        self.count = 0
+        self.total_seconds = 0.0
+        self.min_seconds = float("inf")
+        self.max_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0.0:
+            raise ConfigurationError(
+                f"latency must be non-negative, got {seconds}"
+            )
+        bucket = 0
+        edge = _BUCKET_FLOOR
+        while bucket < _NUM_BUCKETS and seconds >= edge:
+            bucket += 1
+            edge *= _BUCKET_FACTOR
+        self._counts[bucket] += 1
+        self.count += 1
+        self.total_seconds += seconds
+        self.min_seconds = min(self.min_seconds, seconds)
+        self.max_seconds = max(self.max_seconds, seconds)
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other``'s samples into this histogram."""
+        for bucket, count in enumerate(other._counts):
+            self._counts[bucket] += count
+        self.count += other.count
+        self.total_seconds += other.total_seconds
+        self.min_seconds = min(self.min_seconds, other.min_seconds)
+        self.max_seconds = max(self.max_seconds, other.max_seconds)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper edge of the bucket containing the ``q``-quantile sample.
+
+        A deliberately *conservative* estimate: with factor-2 buckets the
+        true quantile may be up to one bucket factor (2x) below the
+        returned edge, never above it — the safe direction for latency
+        reporting and gating.  Clamped to the observed ``max_seconds`` so
+        the estimate never exceeds a latency that actually happened.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for bucket, count in enumerate(self._counts):
+            seen += count
+            if seen >= target and count:
+                upper = _BUCKET_FLOOR * (_BUCKET_FACTOR**bucket)
+                return min(upper, self.max_seconds)
+        return self.max_seconds
+
+    def summary(self) -> str:
+        """One line: count, mean, p50/p99, min/max."""
+        if self.count == 0:
+            return "no samples"
+        return (
+            f"n={self.count} mean={format_duration(self.mean_seconds)} "
+            f"p50={format_duration(self.quantile(0.5))} "
+            f"p99={format_duration(self.quantile(0.99))} "
+            f"min={format_duration(self.min_seconds)} "
+            f"max={format_duration(self.max_seconds)}"
+        )
+
+
+@dataclass
+class WorkloadReport:
+    """What one replay did: timing, latency, epoch audit, errors."""
+
+    mode: str
+    num_workers: int
+    wall_seconds: float
+    op_counts: Dict[str, int]
+    latencies: Dict[str, LatencyHistogram]
+    errors: List[str]
+    epoch_log: EpochObservationLog
+    final_epoch: int
+    final_resources: int
+    cache_stats: Optional[Dict[str, object]] = None
+    quiesce_seconds: float = 0.0
+
+    @property
+    def total_operations(self) -> int:
+        return sum(self.op_counts.values())
+
+    @property
+    def ops_per_second(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.total_operations / self.wall_seconds
+
+    def summary(self) -> str:
+        """Multi-line human-readable report (the CI latency artefact)."""
+        lines = [
+            f"replay mode={self.mode} workers={self.num_workers}: "
+            f"{self.total_operations} ops in "
+            f"{format_duration(self.wall_seconds)} "
+            f"({self.ops_per_second:,.0f} ops/s), "
+            f"quiesce {format_duration(self.quiesce_seconds)}",
+            f"final state: epoch={self.final_epoch} "
+            f"resources={self.final_resources} "
+            f"errors={len(self.errors)}",
+        ]
+        for kind in sorted(self.latencies):
+            lines.append(f"  {kind:<8s} {self.latencies[kind].summary()}")
+        if self.cache_stats is not None:
+            lines.append(f"  cache    {self.cache_stats}")
+        regressions = self.epoch_log.regressions()
+        lines.append(
+            f"  epochs   {len(self.epoch_log)} observations, "
+            f"max={self.epoch_log.max_epoch}, "
+            f"regressions={len(regressions)}"
+        )
+        for error in self.errors[:3]:
+            lines.append(f"  error: {error.splitlines()[-1]}")
+        return "\n".join(lines)
+
+
+class _MutationGate:
+    """Admits mutation batches strictly in ``mutation_seq`` order."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._completed = 0
+
+    def await_turn(self, seq: int) -> None:
+        with self._cond:
+            while self._completed < seq:
+                self._cond.wait()
+
+    def complete(self) -> None:
+        with self._cond:
+            self._completed += 1
+            self._cond.notify_all()
+
+
+class _SharedCursor:
+    """Hands trace operations to workers exactly once, in trace order."""
+
+    def __init__(self, operations) -> None:
+        self._operations = operations
+        self._next = 0
+        self._lock = threading.Lock()
+
+    def next_op(self) -> Optional[Operation]:
+        with self._lock:
+            if self._next >= len(self._operations):
+                return None
+            op = self._operations[self._next]
+            self._next += 1
+            return op
+
+
+class WorkloadRunner:
+    """Replays one trace against one engine, serially or concurrently."""
+
+    def __init__(self, engine, trace: WorkloadTrace) -> None:
+        self.engine = engine
+        self.trace = trace
+
+    # ------------------------------------------------------------------ #
+    # Entry points
+    # ------------------------------------------------------------------ #
+    def run_serial(self) -> WorkloadReport:
+        """Replay the trace on the calling thread, in trace order.
+
+        This is the golden reference: with mutations ordered and queries
+        deterministic, two serial replays of one trace on equal engines
+        are byte-identical.
+        """
+        epoch_log = EpochObservationLog()
+        errors: List[str] = []
+        latencies = self._empty_latencies()
+        started = time.perf_counter()
+        for op in self.trace.operations:
+            self._execute(op, "serial", latencies, epoch_log, errors)
+        wall = time.perf_counter() - started
+        return self._finish("serial", 0, wall, latencies, epoch_log, errors)
+
+    def run_concurrent(self, num_workers: int) -> WorkloadReport:
+        """Replay the trace across ``num_workers`` threads.
+
+        Workers pull operations from a shared cursor; queries execute
+        immediately while mutation batches wait at the ordering gate for
+        their ``mutation_seq`` turn — so the final state matches the
+        serial replay while reads and writes genuinely race in between.
+        """
+        if num_workers < 1:
+            raise ConfigurationError(
+                f"num_workers must be >= 1, got {num_workers}"
+            )
+        epoch_log = EpochObservationLog()
+        errors: List[str] = []
+        errors_lock = threading.Lock()
+        cursor = _SharedCursor(self.trace.operations)
+        gate = _MutationGate()
+        worker_latencies = [self._empty_latencies() for _ in range(num_workers)]
+
+        def worker(worker_id: int) -> None:
+            latencies = worker_latencies[worker_id]
+            while True:
+                op = cursor.next_op()
+                if op is None:
+                    return
+                self._execute(
+                    op,
+                    f"worker-{worker_id}",
+                    latencies,
+                    epoch_log,
+                    errors,
+                    errors_lock=errors_lock,
+                    gate=gate,
+                )
+
+        threads = [
+            threading.Thread(
+                target=worker, args=(worker_id,), name=f"workload-{worker_id}"
+            )
+            for worker_id in range(num_workers)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+
+        merged = self._empty_latencies()
+        for latencies in worker_latencies:
+            for kind, histogram in latencies.items():
+                merged[kind].merge(histogram)
+        return self._finish(
+            "concurrent", num_workers, wall, merged, epoch_log, errors
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _empty_latencies() -> Dict[str, LatencyHistogram]:
+        return {kind: LatencyHistogram() for kind in (QUERY, MUTATE, REFRESH)}
+
+    def _execute(
+        self,
+        op: Operation,
+        reader: str,
+        latencies: Dict[str, LatencyHistogram],
+        epoch_log: EpochObservationLog,
+        errors: List[str],
+        errors_lock: Optional[threading.Lock] = None,
+        gate: Optional[_MutationGate] = None,
+    ) -> None:
+        if op.kind == MUTATE and gate is not None:
+            # Wait *outside* the timed region: the gate models trace
+            # ordering, not engine latency.
+            gate.await_turn(op.mutation_seq)
+        started = time.perf_counter()
+        try:
+            if op.kind == QUERY:
+                epoch, _results = self.engine.snapshot_rank_batch(
+                    [list(op.query_tags)], top_k=op.top_k
+                )
+                epoch_log.record(reader, epoch)
+            elif op.kind == MUTATE:
+                self.engine.apply_mutations(
+                    added=op.added, updated=op.updated, removed=op.removed
+                )
+            elif op.kind == REFRESH:
+                self.engine.refresh()
+            else:
+                raise ConfigurationError(f"unknown operation kind {op.kind!r}")
+        except Exception:  # noqa: BLE001 - replay must survive and report
+            message = f"op {op.index} ({op.kind}): {traceback.format_exc()}"
+            if errors_lock is None:
+                errors.append(message)
+            else:
+                with errors_lock:
+                    errors.append(message)
+        finally:
+            if op.kind == MUTATE and gate is not None:
+                gate.complete()
+            latencies[op.kind].record(time.perf_counter() - started)
+
+    def _finish(
+        self,
+        mode: str,
+        num_workers: int,
+        wall: float,
+        latencies: Dict[str, LatencyHistogram],
+        epoch_log: EpochObservationLog,
+        errors: List[str],
+    ) -> WorkloadReport:
+        quiesce_started = time.perf_counter()
+        self.engine.refresh()
+        quiesce = time.perf_counter() - quiesce_started
+        cache = getattr(self.engine, "cache", None)
+        return WorkloadReport(
+            mode=mode,
+            num_workers=num_workers,
+            wall_seconds=wall,
+            op_counts=self.trace.op_counts(),
+            latencies=latencies,
+            errors=errors,
+            epoch_log=epoch_log,
+            final_epoch=self.engine.epoch,
+            final_resources=self.engine.num_indexed_resources,
+            cache_stats=cache.stats() if cache is not None else None,
+            quiesce_seconds=quiesce,
+        )
+
+
+def quiesced_rankings(
+    engine, trace: WorkloadTrace
+) -> Tuple[int, List[List]]:
+    """The engine's post-quiesce answers to the trace's evaluation probes.
+
+    Refreshes the engine, then ranks ``trace.eval_queries`` through the
+    epoch-consistent snapshot read — the pair the invariant checker
+    compares between serial and concurrent replays.
+    """
+    engine.refresh()
+    return engine.snapshot_rank_batch(
+        [list(query) for query in trace.eval_queries],
+        top_k=trace.config.top_k,
+    )

@@ -21,16 +21,20 @@ dot products (Table VI).
   and the sharded on-disk layout.
 * :mod:`repro.search.cache` — the LRU query result cache layered in front
   of scoring.
+* :mod:`repro.search.concurrency` — the reader/writer lock behind the
+  engines' query-vs-mutation discipline.
 """
 
 from repro.search.vsm import ConceptVectorSpace, RankedResult
 from repro.search.inverted_index import InvertedIndex
+from repro.search.concurrency import ReadWriteLock
 from repro.search.matrix_space import (
     MatrixConceptSpace,
     boundary_tie_candidates,
     select_top_k,
 )
 from repro.search.incremental import (
+    EpochObservationLog,
     RefreshPolicy,
     StalenessReport,
     aggregate_reports,
@@ -47,9 +51,11 @@ __all__ = [
     "ConceptVectorSpace",
     "RankedResult",
     "InvertedIndex",
+    "ReadWriteLock",
     "MatrixConceptSpace",
     "boundary_tie_candidates",
     "select_top_k",
+    "EpochObservationLog",
     "RefreshPolicy",
     "StalenessReport",
     "aggregate_reports",

@@ -10,8 +10,10 @@ entry can never be served after a mutation; the owning engine additionally
 calls :meth:`clear` on every mutation batch so dead entries do not linger
 until LRU pressure evicts them.
 
-The cache is thread-safe (one lock around the ordered map) so a sharded
-engine can be queried from multiple serving threads.
+The cache is thread-safe: one lock guards the ordered map *and* the
+hit/miss/eviction counters, so a sharded engine can be queried from many
+serving threads and :meth:`stats` always returns a consistent snapshot
+(hits + misses equals the number of lookups even mid-storm).
 """
 
 from __future__ import annotations
@@ -102,31 +104,41 @@ class QueryCache:
 
     @property
     def hits(self) -> int:
-        return self._hits
+        with self._lock:
+            return self._hits
 
     @property
     def misses(self) -> int:
-        return self._misses
+        with self._lock:
+            return self._misses
 
     @property
     def evictions(self) -> int:
-        return self._evictions
+        with self._lock:
+            return self._evictions
 
     @property
     def hit_rate(self) -> float:
         """Hits over lookups (0.0 before the first lookup)."""
-        lookups = self._hits + self._misses
-        return self._hits / lookups if lookups else 0.0
+        with self._lock:
+            lookups = self._hits + self._misses
+            return self._hits / lookups if lookups else 0.0
 
     def stats(self) -> Dict[str, object]:
-        """A plain-dict snapshot for reports and logs."""
+        """A plain-dict snapshot for reports and logs.
+
+        Every field is read under one lock acquisition, so the snapshot is
+        internally consistent even while other threads keep mutating the
+        cache (``hits + misses`` always equals the lookups performed up to
+        one instant).
+        """
         with self._lock:
-            size = len(self._entries)
-        return {
-            "entries": size,
-            "max_entries": self._max_entries,
-            "hits": self._hits,
-            "misses": self._misses,
-            "evictions": self._evictions,
-            "hit_rate": self.hit_rate,
-        }
+            lookups = self._hits + self._misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self._max_entries,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "hit_rate": self._hits / lookups if lookups else 0.0,
+            }

@@ -16,6 +16,20 @@ Two interchangeable scoring backends are supported:
 
 Engines built from a folksonomy carry both; engines loaded from disk carry
 only the compiled matrix backend.
+
+Concurrency
+-----------
+The engine follows a read/write discipline enforced by a
+:class:`~repro.search.concurrency.ReadWriteLock`: queries
+(:meth:`SearchEngine.search` / :meth:`SearchEngine.rank_batch` /
+:meth:`SearchEngine.score`) hold the lock in shared mode over a *fresh*
+(non-stale) index, while mutations and the statistics refresh they trigger
+(:meth:`SearchEngine.apply_mutations` / :meth:`SearchEngine.refresh`) hold
+it exclusively.  A query arriving while mutations are pending first drives
+the refresh through the write path, then re-acquires read access — so
+concurrent readers never observe half-swapped CSR arrays, and
+:meth:`SearchEngine.snapshot_rank_batch` can hand back results together
+with the exact epoch they were computed against.
 """
 
 from __future__ import annotations
@@ -26,6 +40,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.core.concepts import Concept, ConceptModel
+from repro.search.concurrency import FreshReadMixin, ReadWriteLock
 from repro.search.incremental import RefreshPolicy, StalenessReport
 from repro.search.matrix_space import MatrixConceptSpace, validate_top_k
 from repro.search.vsm import ConceptVectorSpace, RankedResult
@@ -98,7 +113,7 @@ def prepare_mutation_batch(
 
 
 @dataclass
-class SearchEngine:
+class SearchEngine(FreshReadMixin):
     """Online query processing over a concept-space index.
 
     Attributes
@@ -131,6 +146,9 @@ class SearchEngine:
     _resources_added: int = field(default=0, repr=False)
     _resources_removed: int = field(default=0, repr=False)
     _resources_updated: int = field(default=0, repr=False)
+    _rw: ReadWriteLock = field(
+        default_factory=ReadWriteLock, repr=False, compare=False
+    )
 
     @classmethod
     def build(
@@ -181,6 +199,12 @@ class SearchEngine:
             return {}
         return self.concept_model.concept_bag_from_tags(query_tags)
 
+    def _needs_refresh(self) -> bool:
+        """Whether pending mutations await the lazy statistics refresh."""
+        if self.matrix_space is not None and self.matrix_space.is_stale:
+            return True
+        return self.vector_space is not None and self.vector_space.is_stale
+
     def search(
         self, query_tags: Sequence[str], top_k: Optional[int] = None
     ) -> List[RankedResult]:
@@ -191,12 +215,16 @@ class SearchEngine:
         of entirely unknown tags return an empty list.
         """
         validate_top_k(top_k)
-        concept_bag = self.query_concepts(query_tags)
-        if not concept_bag:
-            return []
-        if self.matrix_space is not None:
-            return self.matrix_space.rank(concept_bag, top_k=top_k)
-        return self._require_vector_space().rank(concept_bag, top_k=top_k)
+        with self._read_fresh():
+            # The tag -> concept mapping happens inside the lock: a racing
+            # mutation batch may allocate dynamic concepts, and the bag
+            # must describe the same index state it is scored against.
+            concept_bag = self.query_concepts(query_tags)
+            if not concept_bag:
+                return []
+            if self.matrix_space is not None:
+                return self.matrix_space.rank(concept_bag, top_k=top_k)
+            return self._require_vector_space().rank(concept_bag, top_k=top_k)
 
     def rank_batch(
         self,
@@ -216,6 +244,15 @@ class SearchEngine:
         validate_top_k(top_k)
         if not queries:
             return []
+        with self._read_fresh():
+            return self._rank_batch_in_lock(queries, top_k)
+
+    def _rank_batch_in_lock(
+        self,
+        queries: Sequence[Sequence[str]],
+        top_k: Optional[int],
+    ) -> List[List[RankedResult]]:
+        """The :meth:`rank_batch` body; caller holds the read lock."""
         concept_bags = [self.query_concepts(tags) for tags in queries]
         if self.matrix_space is not None:
             scorable = [
@@ -247,19 +284,33 @@ class SearchEngine:
         refresh is one vectorized pass, where the dict mirror's is a full
         Python re-fit); the mirror serves :meth:`explain` and parity tests.
         """
-        concept_bag = self.query_concepts(query_tags)
-        if not concept_bag:
-            return 0.0
-        if self.matrix_space is not None:
-            return self.matrix_space.cosine(concept_bag, resource)
-        return self._require_vector_space().cosine(concept_bag, resource)
+        with self._read_fresh():
+            concept_bag = self.query_concepts(query_tags)
+            if not concept_bag:
+                return 0.0
+            if self.matrix_space is not None:
+                return self.matrix_space.cosine(concept_bag, resource)
+            return self._require_vector_space().cosine(concept_bag, resource)
 
     def explain(self, query_tags: Sequence[str], resource: str) -> Dict[str, object]:
-        """A debugging breakdown of how a resource scored for a query."""
+        """A debugging breakdown of how a resource scored for a query.
+
+        Vectors and the cosine are read inside one reader-held region
+        (the cosine is computed inline — :meth:`score` would re-enter the
+        non-reentrant lock), so the breakdown reflects a single index
+        state even while mutations race.
+        """
         space = self._require_vector_space()
-        concept_bag = self.query_concepts(query_tags)
-        query_vector = space.query_vector(concept_bag)
-        resource_vector = space.resource_vector(resource)
+        with self._read_fresh():
+            concept_bag = self.query_concepts(query_tags)
+            query_vector = space.query_vector(concept_bag)
+            resource_vector = space.resource_vector(resource)
+            if not concept_bag:
+                cosine = 0.0
+            elif self.matrix_space is not None:
+                cosine = self.matrix_space.cosine(concept_bag, resource)
+            else:
+                cosine = space.cosine(concept_bag, resource)
         overlap = {
             concept: (query_vector.get(concept, 0.0), resource_vector.get(concept, 0.0))
             for concept in set(query_vector) | set(resource_vector)
@@ -267,7 +318,7 @@ class SearchEngine:
         return {
             "query_tags": list(query_tags),
             "query_concepts": concept_bag,
-            "cosine": self.score(query_tags, resource),
+            "cosine": cosine,
             "per_concept_weights": overlap,
         }
 
@@ -320,29 +371,30 @@ class SearchEngine:
                 "mutate it locally (idf/num_resources are corpus-wide); "
                 "route mutations through the owning ShardedSearchEngine"
             )
-        batch = prepare_mutation_batch(self, added, updated, removed)
-        if batch is None:
+        with self._rw.write():
+            batch = prepare_mutation_batch(self, added, updated, removed)
+            if batch is None:
+                return self.staleness()
+            added_bags, updated_bags, removed = batch
+            if self.matrix_space is not None:
+                if added_bags:
+                    self.matrix_space.add_documents(added_bags)
+                for resource, bag in updated_bags.items():
+                    self.matrix_space.update_document(resource, bag)
+                if removed:
+                    self.matrix_space.remove_documents(removed)
+            if self.vector_space is not None:
+                if added_bags:
+                    self.vector_space.add_resources(added_bags)
+                for resource, bag in updated_bags.items():
+                    self.vector_space.update_resource(resource, bag)
+                if removed:
+                    self.vector_space.remove_resources(removed)
+            self.epoch += 1
+            self._resources_added += len(added_bags)
+            self._resources_updated += len(updated_bags)
+            self._resources_removed += len(removed)
             return self.staleness()
-        added_bags, updated_bags, removed = batch
-        if self.matrix_space is not None:
-            if added_bags:
-                self.matrix_space.add_documents(added_bags)
-            for resource, bag in updated_bags.items():
-                self.matrix_space.update_document(resource, bag)
-            if removed:
-                self.matrix_space.remove_documents(removed)
-        if self.vector_space is not None:
-            if added_bags:
-                self.vector_space.add_resources(added_bags)
-            for resource, bag in updated_bags.items():
-                self.vector_space.update_resource(resource, bag)
-            if removed:
-                self.vector_space.remove_resources(removed)
-        self.epoch += 1
-        self._resources_added += len(added_bags)
-        self._resources_updated += len(updated_bags)
-        self._resources_removed += len(removed)
-        return self.staleness()
 
     def add_resources(
         self, tag_bags: Mapping[str, Mapping[str, float]]
@@ -365,13 +417,20 @@ class SearchEngine:
         return self.apply_mutations(updated={resource: tag_bag})
 
     def refresh(self) -> bool:
-        """Eagerly fold pending mutations into the backends; True if any."""
-        refreshed = False
-        if self.matrix_space is not None:
-            refreshed = self.matrix_space.refresh() or refreshed
-        if self.vector_space is not None:
-            refreshed = self.vector_space.refresh() or refreshed
-        return refreshed
+        """Eagerly fold pending mutations into the backends; True if any.
+
+        Runs under the exclusive side of the engine's read/write lock, so
+        no concurrent query can observe the backends mid-swap.
+        """
+        if not self._needs_refresh():
+            return False
+        with self._rw.write():
+            refreshed = False
+            if self.matrix_space is not None:
+                refreshed = self.matrix_space.refresh() or refreshed
+            if self.vector_space is not None:
+                refreshed = self.vector_space.refresh() or refreshed
+            return refreshed
 
     def staleness(self) -> StalenessReport:
         """How far the engine has drifted since its last full (re)fit."""
@@ -414,8 +473,14 @@ class SearchEngine:
             )
         path = Path(directory)
         path.mkdir(parents=True, exist_ok=True)
-        self.matrix_space.save(path)
-        payload = {
+        with self._read_fresh():
+            self.matrix_space.save(path)
+            payload = self._save_payload()
+        (path / ENGINE_FILENAME).write_text(json.dumps(payload), encoding="utf-8")
+        return path
+
+    def _save_payload(self) -> Dict[str, object]:
+        return {
             "name": self.name,
             "concept_model": concept_model_to_json(self.concept_model),
             "epoch": self.epoch,
@@ -430,8 +495,6 @@ class SearchEngine:
                 "max_delta_ops": self.refresh_policy.max_delta_ops,
             },
         }
-        (path / ENGINE_FILENAME).write_text(json.dumps(payload), encoding="utf-8")
-        return path
 
     @classmethod
     def load(cls, directory: Union[str, Path]) -> "SearchEngine":

@@ -10,13 +10,18 @@ This module quantifies that drift:
   *epoch* and a set of staleness counters,
 * a :class:`RefreshPolicy` turns those counters into a *refit due* signal,
 * :class:`StalenessReport` is the snapshot handed to operators (and to the
-  versioned snapshot store, which records the epoch it checkpointed).
+  versioned snapshot store, which records the epoch it checkpointed),
+* :class:`EpochObservationLog` records the epochs concurrent readers
+  actually observed (via the engines' ``snapshot_rank_batch``), so the
+  workload replay suite can assert that epoch-consistent reads never run
+  backwards under mixed read/write traffic.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.utils.errors import ConfigurationError
 
@@ -118,6 +123,60 @@ class StalenessReport:
             f"({self.delta_fraction:.1%} of the {self.baseline_resources} "
             f"fitted) -> refit {'DUE' if self.refit_due else 'not due'}"
         )
+
+
+class EpochObservationLog:
+    """A thread-safe log of the index epochs observed by snapshot reads.
+
+    Workload replay workers record ``(reader, epoch)`` after every
+    epoch-consistent query (``snapshot_rank_batch``).  Because an engine's
+    epoch is a monotone mutation counter and each worker issues its reads
+    sequentially, any *decrease* within one reader's observation stream
+    proves a torn read — a query that scored against state older than one
+    it had already seen — which is exactly the anomaly the serving layer's
+    read/write discipline must rule out.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._observations: List[Tuple[Hashable, int]] = []
+
+    def record(self, reader: Hashable, epoch: int) -> None:
+        """Append one observation for ``reader`` (any hashable worker id)."""
+        with self._lock:
+            self._observations.append((reader, int(epoch)))
+
+    def observations(self) -> List[Tuple[Hashable, int]]:
+        """All observations in arrival order (a copy)."""
+        with self._lock:
+            return list(self._observations)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._observations)
+
+    @property
+    def max_epoch(self) -> int:
+        """The newest epoch any reader observed (-1 with no observations)."""
+        with self._lock:
+            if not self._observations:
+                return -1
+            return max(epoch for _, epoch in self._observations)
+
+    def regressions(self) -> List[Tuple[Hashable, int, int]]:
+        """Per-reader monotonicity violations: ``(reader, seen, then)``.
+
+        Empty means every reader observed a non-decreasing epoch sequence —
+        the pass verdict for the concurrent-replay invariant suite.
+        """
+        last_seen: Dict[Hashable, int] = {}
+        violations: List[Tuple[Hashable, int, int]] = []
+        for reader, epoch in self.observations():
+            previous = last_seen.get(reader)
+            if previous is not None and epoch < previous:
+                violations.append((reader, previous, epoch))
+            last_seen[reader] = epoch
+        return violations
 
 
 def aggregate_reports(

@@ -27,6 +27,14 @@ document frequencies are summed, one idf vector is derived and applied
 everywhere — so folded-in rankings still match a monolithic rebuild to
 1e-9 (``tests/test_sharding.py`` is the parity suite).
 
+Queries and mutations may arrive from many serving threads concurrently:
+reads (``rank_batch``/``search``/``score``) hold a
+:class:`~repro.search.concurrency.ReadWriteLock` in shared mode over a
+guaranteed-fresh index, while ``apply_mutations`` and the coordinated
+``refresh`` hold it exclusively — a fan-out can never observe a shard
+mid-refresh, and ``snapshot_rank_batch`` returns results tagged with the
+exact epoch they were computed against.
+
 Persistence uses a sharded on-disk layout: one directory per shard (the
 usual ``.npz`` + JSON pair) plus a ``shard_manifest.json`` carrying the
 router, the concept model and the serving metadata, so an N-process
@@ -56,6 +64,7 @@ from typing import (
 
 from repro.core.concepts import ConceptModel
 from repro.search.cache import DEFAULT_MAX_ENTRIES, QueryCache
+from repro.search.concurrency import FreshReadMixin, ReadWriteLock
 from repro.search.engine import (
     SearchEngine,
     concept_model_from_json,
@@ -170,7 +179,7 @@ def merge_topk(
     return out
 
 
-class ShardedSearchEngine:
+class ShardedSearchEngine(FreshReadMixin):
     """Online query processing over N partitioned concept-space shards.
 
     Mirrors the :class:`~repro.search.engine.SearchEngine` query and
@@ -256,7 +265,8 @@ class ShardedSearchEngine:
                 "per-shard baselines/counters do not match the shard count"
             )
         self._stats_stale = False
-        self._refresh_lock = threading.Lock()
+        self._rw = ReadWriteLock()
+        self._pool_lock = threading.Lock()
         self._executor: Optional[ThreadPoolExecutor] = None
 
     # ------------------------------------------------------------------ #
@@ -362,10 +372,12 @@ class ShardedSearchEngine:
 
     def _pool(self) -> ThreadPoolExecutor:
         if self._executor is None:
-            # Double-checked under the refresh lock: two serving threads
+            # Double-checked under a dedicated lock: two serving threads
             # racing the first query must not each build (and one leak) a
-            # ThreadPoolExecutor.
-            with self._refresh_lock:
+            # ThreadPoolExecutor.  A plain mutex (not the engine's
+            # read/write lock) because _pool() is reached while holding
+            # read access and the ReadWriteLock is not reentrant.
+            with self._pool_lock:
                 if self._executor is None:
                     self._executor = ThreadPoolExecutor(
                         max_workers=len(self.shards),
@@ -406,6 +418,15 @@ class ShardedSearchEngine:
         queries = [list(tags) for tags in queries]
         if not queries:
             return []
+        with self._read_fresh():
+            return self._rank_batch_in_lock(queries, top_k)
+
+    def _rank_batch_in_lock(
+        self,
+        queries: List[List[str]],
+        top_k: Optional[int],
+    ) -> List[List[RankedResult]]:
+        """The :meth:`rank_batch` body; caller holds the read lock."""
         bags = [self.query_concepts(tags) for tags in queries]
         results: List[List[RankedResult]] = [[] for _ in queries]
 
@@ -452,20 +473,25 @@ class ShardedSearchEngine:
 
     def score(self, query_tags: Sequence[str], resource: str) -> float:
         """Cosine similarity via the single shard owning ``resource``."""
-        concept_bag = self.query_concepts(query_tags)
-        if not concept_bag:
-            return 0.0
-        self.refresh()
-        shard = self.shards[self.router.shard_of(resource)]
-        return shard.cosine(concept_bag, resource)
+        with self._read_fresh():
+            concept_bag = self.query_concepts(query_tags)
+            if not concept_bag:
+                return 0.0
+            shard = self.shards[self.router.shard_of(resource)]
+            return shard.cosine(concept_bag, resource)
+
+    def _needs_refresh(self) -> bool:
+        """Whether any shard (or the global statistics) awaits a refresh."""
+        return self._stats_stale or any(
+            shard.is_stale for shard in self.shards
+        )
 
     def _rank_bags(
         self,
         bags: Sequence[Mapping[int, float]],
         top_k: Optional[int],
     ) -> List[List[RankedResult]]:
-        """Fan concept bags out to every shard and merge per query."""
-        self.refresh()
+        """Fan concept bags out to every shard; caller holds the read lock."""
         if len(self.shards) == 1:
             per_shard = [self.shards[0].rank_batch(bags, top_k)]
         else:
@@ -520,43 +546,46 @@ class ShardedSearchEngine:
                 "(pre-v2 artefact) and cannot be mutated; rebuild the engine "
                 "or re-save the index with the current format"
             )
-        batch = prepare_mutation_batch(self, added, updated, removed)
-        if batch is None:
+        with self._rw.write():
+            batch = prepare_mutation_batch(self, added, updated, removed)
+            if batch is None:
+                return self.staleness()
+            added_bags, updated_bags, removed = batch
+            shard_added: List[Dict[str, Dict[int, float]]] = [
+                {} for _ in self.shards
+            ]
+            shard_updated: List[Dict[str, Dict[int, float]]] = [
+                {} for _ in self.shards
+            ]
+            shard_removed: List[List[str]] = [[] for _ in self.shards]
+            for resource, bag in added_bags.items():
+                shard_added[self.router.shard_of(resource)][resource] = bag
+            for resource, bag in updated_bags.items():
+                shard_updated[self.router.shard_of(resource)][resource] = bag
+            for resource in removed:
+                shard_removed[self.router.shard_of(resource)].append(resource)
+
+            for index, shard in enumerate(self.shards):
+                if shard_added[index]:
+                    shard.add_documents(shard_added[index])
+                for resource, bag in shard_updated[index].items():
+                    shard.update_document(resource, bag)
+                if shard_removed[index]:
+                    shard.remove_documents(
+                        shard_removed[index], allow_empty=True
+                    )
+                self._shard_added[index] += len(shard_added[index])
+                self._shard_updated[index] += len(shard_updated[index])
+                self._shard_removed[index] += len(shard_removed[index])
+
+            self.epoch += 1
+            self._resources_added += len(added_bags)
+            self._resources_updated += len(updated_bags)
+            self._resources_removed += len(removed)
+            self._stats_stale = True
+            if self.cache is not None:
+                self.cache.clear()
             return self.staleness()
-        added_bags, updated_bags, removed = batch
-        shard_added: List[Dict[str, Dict[int, float]]] = [
-            {} for _ in self.shards
-        ]
-        shard_updated: List[Dict[str, Dict[int, float]]] = [
-            {} for _ in self.shards
-        ]
-        shard_removed: List[List[str]] = [[] for _ in self.shards]
-        for resource, bag in added_bags.items():
-            shard_added[self.router.shard_of(resource)][resource] = bag
-        for resource, bag in updated_bags.items():
-            shard_updated[self.router.shard_of(resource)][resource] = bag
-        for resource in removed:
-            shard_removed[self.router.shard_of(resource)].append(resource)
-
-        for index, shard in enumerate(self.shards):
-            if shard_added[index]:
-                shard.add_documents(shard_added[index])
-            for resource, bag in shard_updated[index].items():
-                shard.update_document(resource, bag)
-            if shard_removed[index]:
-                shard.remove_documents(shard_removed[index], allow_empty=True)
-            self._shard_added[index] += len(shard_added[index])
-            self._shard_updated[index] += len(shard_updated[index])
-            self._shard_removed[index] += len(shard_removed[index])
-
-        self.epoch += 1
-        self._resources_added += len(added_bags)
-        self._resources_updated += len(updated_bags)
-        self._resources_removed += len(removed)
-        self._stats_stale = True
-        if self.cache is not None:
-            self.cache.clear()
-        return self.staleness()
 
     def add_resources(
         self, tag_bags: Mapping[str, Mapping[str, float]]
@@ -582,16 +611,17 @@ class ShardedSearchEngine:
         document frequencies are summed, globally dead terms are pruned
         everywhere, and one corpus-wide idf vector is derived and applied
         to every shard — exactly the statistics a monolithic refresh over
-        the whole corpus computes.  Like the monolithic refresh this is a
-        writer-side operation: apply mutations and refresh from one writer,
-        then read concurrently.
+        the whole corpus computes.  Runs under the exclusive side of the
+        engine's read/write lock, so no concurrent fan-out can observe a
+        shard mid-refresh; readers arriving while mutations are pending
+        drive this refresh themselves before scoring.
         """
         if not self._needs_refresh():
             return False
-        with self._refresh_lock:
-            return self._refresh_locked()
+        with self._rw.write():
+            return self._refresh_in_write_lock()
 
-    def _refresh_locked(self) -> bool:
+    def _refresh_in_write_lock(self) -> bool:
         if not self._needs_refresh():  # another writer refreshed meanwhile
             return False
         extra: Dict[Hashable, None] = {}
@@ -626,11 +656,6 @@ class ShardedSearchEngine:
             shard.apply_statistics(idf, num_documents)
         self._stats_stale = False
         return True
-
-    def _needs_refresh(self) -> bool:
-        return self._stats_stale or any(
-            shard.is_stale for shard in self.shards
-        )
 
     def staleness(self) -> StalenessReport:
         """Corpus-level drift since the last full offline fit (O(1))."""
@@ -702,46 +727,46 @@ class ShardedSearchEngine:
         whole engine (:meth:`load`) or one shard per process
         (:meth:`load_shard`).
         """
-        self.refresh()
         path = Path(directory)
         path.mkdir(parents=True, exist_ok=True)
-        shard_entries = []
-        for index, shard in enumerate(self.shards):
-            shard_dir = f"shard-{index:04d}"
-            shard.save(path / shard_dir)
-            shard_entries.append(
-                {
-                    "directory": shard_dir,
-                    "num_documents": shard.pending_num_documents,
-                    "baseline_resources": self._shard_baselines[index],
-                    "mutations": {
-                        "added": self._shard_added[index],
-                        "removed": self._shard_removed[index],
-                        "updated": self._shard_updated[index],
-                    },
-                }
-            )
-        payload = {
-            "format_version": SHARD_MANIFEST_VERSION,
-            "name": self.name,
-            "router": self.router.to_json(),
-            "shards": shard_entries,
-            "concept_model": concept_model_to_json(self.concept_model),
-            "epoch": self.epoch,
-            "baseline_resources": self._baseline_resources,
-            "mutations": {
-                "added": self._resources_added,
-                "removed": self._resources_removed,
-                "updated": self._resources_updated,
-            },
-            "refresh_policy": {
-                "max_delta_fraction": self.refresh_policy.max_delta_fraction,
-                "max_delta_ops": self.refresh_policy.max_delta_ops,
-            },
-            "cache_entries": (
-                self.cache.max_entries if self.cache is not None else 0
-            ),
-        }
+        with self._read_fresh():
+            shard_entries = []
+            for index, shard in enumerate(self.shards):
+                shard_dir = f"shard-{index:04d}"
+                shard.save(path / shard_dir)
+                shard_entries.append(
+                    {
+                        "directory": shard_dir,
+                        "num_documents": shard.pending_num_documents,
+                        "baseline_resources": self._shard_baselines[index],
+                        "mutations": {
+                            "added": self._shard_added[index],
+                            "removed": self._shard_removed[index],
+                            "updated": self._shard_updated[index],
+                        },
+                    }
+                )
+            payload = {
+                "format_version": SHARD_MANIFEST_VERSION,
+                "name": self.name,
+                "router": self.router.to_json(),
+                "shards": shard_entries,
+                "concept_model": concept_model_to_json(self.concept_model),
+                "epoch": self.epoch,
+                "baseline_resources": self._baseline_resources,
+                "mutations": {
+                    "added": self._resources_added,
+                    "removed": self._resources_removed,
+                    "updated": self._resources_updated,
+                },
+                "refresh_policy": {
+                    "max_delta_fraction": self.refresh_policy.max_delta_fraction,
+                    "max_delta_ops": self.refresh_policy.max_delta_ops,
+                },
+                "cache_entries": (
+                    self.cache.max_entries if self.cache is not None else 0
+                ),
+            }
         (path / SHARD_MANIFEST_FILENAME).write_text(
             json.dumps(payload), encoding="utf-8"
         )

@@ -7,10 +7,12 @@ realistic data.
 
 from __future__ import annotations
 
+import os
 import warnings
 
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.core.cubelsi import CubeLSI
 from repro.datasets.generator import FolksonomyGenerator, GeneratorConfig
@@ -23,6 +25,16 @@ from repro.tagging.cleaning import CleaningConfig, clean_folksonomy
 from repro.utils.errors import ConvergenceWarning
 
 warnings.filterwarnings("ignore", category=ConvergenceWarning)
+
+# Hypothesis effort profiles: "dev" is the local default, "ci" keeps the
+# version-matrix jobs quick on shared runners, "thorough" is the deep
+# search the dedicated stress job (and hunting sessions) run.  Deadlines
+# are disabled everywhere — property bodies build real engines and the
+# suite cares about correctness, not per-example wall time.
+settings.register_profile("dev", max_examples=60, deadline=None)
+settings.register_profile("ci", max_examples=25, deadline=None)
+settings.register_profile("thorough", max_examples=400, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")

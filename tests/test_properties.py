@@ -1,0 +1,230 @@
+"""Property-based invariants for the serving primitives (hypothesis).
+
+Two families of properties, both aimed where the system is most likely to
+be wrong (exact ties, eviction boundaries, permuted inputs):
+
+* **top-k merge** — for *any* corpus of scores (tie-rich by construction),
+  any shard split and any ``top_k``, the sharded pipeline
+  ``select_top_k`` per shard → ``merge_topk`` must reproduce the
+  monolithic ``select_top_k`` exactly, including at exact rank-k score
+  ties.
+* **query cache** — a :class:`QueryCache` driven by an arbitrary
+  get/put/clear sequence must agree with a reference LRU model on every
+  lookup, never exceed capacity, evict in recency order, and keep
+  ``hits + misses == lookups`` and the eviction count exact;
+  ``canonical_key`` must be invariant under tag permutation while staying
+  multiset-sensitive.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.search.cache import QueryCache
+from repro.search.matrix_space import select_top_k
+from repro.search.sharding import merge_topk
+from repro.search.vsm import RankedResult
+
+# --------------------------------------------------------------------- #
+# merge_topk == monolithic select_top_k
+# --------------------------------------------------------------------- #
+
+#: A deliberately tiny score pool so exact ties (including at the rank-k
+#: boundary) appear in almost every generated corpus.
+SCORE_POOL = (0.0, 0.1, 0.25, 0.25, 0.5, 0.5, 0.5, 0.75, 1.0)
+
+
+@st.composite
+def corpus_and_split(draw):
+    """A scored corpus, a shard assignment and a top_k to cut at."""
+    num_docs = draw(st.integers(min_value=1, max_value=32))
+    num_shards = draw(st.integers(min_value=1, max_value=5))
+    scores = draw(
+        st.lists(
+            st.sampled_from(SCORE_POOL),
+            min_size=num_docs,
+            max_size=num_docs,
+        )
+    )
+    assignment = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=num_shards - 1),
+            min_size=num_docs,
+            max_size=num_docs,
+        )
+    )
+    top_k = draw(
+        st.one_of(st.none(), st.integers(min_value=1, max_value=num_docs + 3))
+    )
+    doc_ids = [f"r{i:03d}" for i in range(num_docs)]
+    return doc_ids, scores, assignment, num_shards, top_k
+
+
+def ranked_list(
+    doc_ids: List[str], scores: List[float], top_k: Optional[int]
+) -> List[RankedResult]:
+    """What one space's ``rank`` emits: select_top_k over ascending ids."""
+    ordered = sorted(range(len(doc_ids)), key=lambda i: doc_ids[i])
+    positions = np.arange(len(ordered))
+    score_array = np.array([scores[i] for i in ordered], dtype=np.float64)
+    selected = select_top_k(positions, score_array, top_k)
+    return [
+        RankedResult(doc_ids[ordered[column]], float(score_array[column]), rank)
+        for rank, column in enumerate(selected.tolist(), start=1)
+    ]
+
+
+@given(corpus_and_split())
+def test_merge_topk_equals_monolithic_select(data):
+    doc_ids, scores, assignment, num_shards, top_k = data
+    want = ranked_list(doc_ids, scores, top_k)
+
+    shard_lists = []
+    for shard in range(num_shards):
+        members = [i for i, home in enumerate(assignment) if home == shard]
+        shard_lists.append(
+            ranked_list(
+                [doc_ids[i] for i in members],
+                [scores[i] for i in members],
+                top_k,
+            )
+        )
+    got = merge_topk(shard_lists, top_k)
+
+    assert [r.resource for r in got] == [r.resource for r in want]
+    assert [r.score for r in got] == [r.score for r in want]
+    assert [r.rank for r in got] == list(range(1, len(want) + 1))
+
+
+@given(corpus_and_split())
+def test_merge_topk_unbounded_keeps_every_positive_score(data):
+    doc_ids, scores, assignment, num_shards, _top_k = data
+    merged = merge_topk(
+        [
+            ranked_list(
+                [doc_ids[i] for i, h in enumerate(assignment) if h == shard],
+                [scores[i] for i, h in enumerate(assignment) if h == shard],
+                None,
+            )
+            for shard in range(num_shards)
+        ],
+        None,
+    )
+    positive = [doc_ids[i] for i, score in enumerate(scores) if score > 0.0]
+    assert sorted(r.resource for r in merged) == sorted(positive)
+
+
+# --------------------------------------------------------------------- #
+# QueryCache LRU invariants
+# --------------------------------------------------------------------- #
+
+
+class ModelLRU:
+    """The executable specification QueryCache must agree with."""
+
+    def __init__(self, max_entries: int) -> None:
+        self.max_entries = max_entries
+        self.entries: "OrderedDict[int, Tuple[int, ...]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: int) -> Optional[Tuple[int, ...]]:
+        if key not in self.entries:
+            self.misses += 1
+            return None
+        self.entries.move_to_end(key)
+        self.hits += 1
+        return self.entries[key]
+
+    def put(self, key: int, value: Tuple[int, ...]) -> None:
+        if key in self.entries:
+            self.entries.move_to_end(key)
+        self.entries[key] = value
+        while len(self.entries) > self.max_entries:
+            self.entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+
+cache_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.integers(0, 11), st.integers(0, 99)),
+        st.tuples(st.just("get"), st.integers(0, 11)),
+        st.tuples(st.just("clear")),
+    ),
+    max_size=60,
+)
+
+
+@given(max_entries=st.integers(min_value=1, max_value=8), ops=cache_ops)
+def test_query_cache_matches_lru_model(max_entries, ops):
+    cache = QueryCache(max_entries=max_entries)
+    model = ModelLRU(max_entries)
+    lookups = 0
+    for op in ops:
+        if op[0] == "put":
+            _, key, value = op
+            payload = (value,)
+            cache.put(key, payload)
+            model.put(key, payload)
+        elif op[0] == "get":
+            _, key = op
+            lookups += 1
+            got = cache.get(key)
+            want = model.get(key)
+            # Agreement on both presence and payload checks LRU *eviction
+            # order*, not just capacity: a wrongly evicted key would miss
+            # where the model hits.
+            assert (got is None) == (want is None)
+            if want is not None:
+                assert tuple(got) == want
+        else:
+            cache.clear()
+            model.clear()
+        assert len(cache) <= max_entries
+        assert len(cache) == len(model.entries)
+    stats = cache.stats()
+    assert stats["hits"] == model.hits
+    assert stats["misses"] == model.misses
+    assert stats["hits"] + stats["misses"] == lookups
+    assert stats["evictions"] == model.evictions
+    expected_rate = model.hits / lookups if lookups else 0.0
+    assert stats["hit_rate"] == expected_rate
+
+
+tag_lists = st.lists(
+    st.sampled_from(["alpha", "beta", "gamma", "delta"]), max_size=6
+)
+
+
+@given(
+    tags=tag_lists,
+    top_k=st.one_of(st.none(), st.integers(1, 20)),
+    epoch=st.integers(0, 5),
+    seed=st.integers(0, 2**16),
+)
+def test_canonical_key_invariant_under_permutation(tags, top_k, epoch, seed):
+    rng = np.random.default_rng(seed)
+    permuted = [tags[i] for i in rng.permutation(len(tags))]
+    assert QueryCache.canonical_key(
+        permuted, top_k, epoch
+    ) == QueryCache.canonical_key(tags, top_k, epoch)
+
+
+@given(tags=tag_lists, top_k=st.one_of(st.none(), st.integers(1, 20)))
+def test_canonical_key_is_multiset_and_context_sensitive(tags, top_k):
+    key = QueryCache.canonical_key(tags, top_k, 0)
+    if tags:
+        # Duplicating one tag changes the multiset, so the key must move.
+        assert QueryCache.canonical_key(tags + [tags[0]], top_k, 0) != key
+    assert QueryCache.canonical_key(tags, top_k, 1) != key
+    other_k = 1 if top_k != 1 else 2
+    assert QueryCache.canonical_key(tags, other_k, 0) != key
