@@ -1,0 +1,256 @@
+#!/usr/bin/env python
+"""CI perf-regression gate: BENCH_results.json vs the committed baseline.
+
+The benchmark session writes ``benchmarks/BENCH_results.json`` (per-bench
+wall times, outcomes, and every measured scalar the benchmarks record via
+``record_metric`` — speedup ratios, throughputs).  This script compares
+that file against the committed ``benchmarks/baseline.json`` and exits
+non-zero on any regression beyond the tolerance band, which is what makes
+a perf regression a red build instead of a silently shrinking number.
+
+Two tolerance knobs, because the two signals have different portability:
+
+* **metrics** (default tolerance 0.25): measured *ratios* — batched vs
+  dict-loop speedup, coalesced vs serial throughput — are largely
+  hardware-independent, so a >25% drop is gated as a real regression;
+* **wall times** (default tolerance 2.0): absolute seconds vary wildly
+  across runner generations, so the default band only catches order-of-
+  magnitude blowups; tighten per deployment with ``--wall-tolerance``.
+
+Direction is inferred from the metric name (``*speedup*``/``*ratio*``/
+``*per_s*`` are higher-better; ``*seconds*``/``*latency*`` lower-better;
+unknown names default to higher-better, matching how the suite names its
+ratios).  Benchmarks present in the baseline but missing from the results
+fail the gate — a deleted gate is a regression too; new benchmarks not in
+the baseline are listed as informational until the baseline is refreshed.
+
+Usage (what the CI job runs)::
+
+    python -m pytest benchmarks/ -q -s
+    python benchmarks/compare_baseline.py
+
+Refreshing the baseline after an intentional change::
+
+    python benchmarks/compare_baseline.py --write-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+HERE = Path(__file__).parent
+DEFAULT_RESULTS = HERE / "BENCH_results.json"
+DEFAULT_BASELINE = HERE / "baseline.json"
+SCHEMA_VERSION = 1
+
+HIGHER_BETTER_HINTS = ("speedup", "ratio", "per_s", "throughput", "ops")
+LOWER_BETTER_HINTS = ("seconds", "latency", "wall")
+#: Metrics in absolute hardware units (queries/s, ops/s) are informational
+#: in BENCH_results.json but are never snapshotted into the baseline:
+#: anchoring a laptop's q/s and gating it at 25% on a slower CI runner
+#: would fail every build.  Only dimensionless ratios are portable.
+ABSOLUTE_UNIT_HINTS = ("per_s", "throughput", "qps")
+#: Benchmarks this fast are dominated by scheduler/page-cache noise; the
+#: wall gate never demands a limit below this, so a 20ms bench jittering
+#: to 80ms on a shared runner is not a red build.
+MIN_WALL_LIMIT_SECONDS = 0.5
+
+
+def higher_is_better(name: str) -> bool:
+    lowered = name.lower()
+    if any(hint in lowered for hint in HIGHER_BETTER_HINTS):
+        return True
+    if any(hint in lowered for hint in LOWER_BETTER_HINTS):
+        return False
+    return True
+
+
+def is_portable(name: str) -> bool:
+    """Whether a metric is safe to anchor in a cross-runner baseline."""
+    lowered = name.lower()
+    return not any(hint in lowered for hint in ABSOLUTE_UNIT_HINTS)
+
+
+def load(path: Path) -> Dict[str, dict]:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SystemExit(
+            f"{path}: unsupported schema_version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    return payload["benches"]
+
+
+def compare(
+    results: Dict[str, dict],
+    baseline: Dict[str, dict],
+    tolerance: float,
+    wall_tolerance: float,
+) -> Tuple[List[str], List[str]]:
+    """Return (failures, report_lines)."""
+    failures: List[str] = []
+    lines: List[str] = []
+    for bench in sorted(baseline):
+        base = baseline[bench]
+        got = results.get(bench)
+        if got is None:
+            failures.append(f"{bench}: present in baseline, missing from results")
+            continue
+        if got.get("outcome") not in (None, "passed"):
+            failures.append(f"{bench}: outcome is {got.get('outcome')!r}")
+        base_wall = base.get("wall_seconds")
+        got_wall = got.get("wall_seconds")
+        if base_wall is not None and got_wall is not None:
+            limit = max(
+                base_wall * (1.0 + wall_tolerance), MIN_WALL_LIMIT_SECONDS
+            )
+            status = "ok" if got_wall <= limit else "REGRESSED"
+            lines.append(
+                f"{bench}: wall {got_wall:.2f}s vs baseline "
+                f"{base_wall:.2f}s (limit {limit:.2f}s) {status}"
+            )
+            if got_wall > limit:
+                failures.append(
+                    f"{bench}: wall time {got_wall:.2f}s exceeds "
+                    f"{limit:.2f}s (baseline {base_wall:.2f}s "
+                    f"+{wall_tolerance:.0%})"
+                )
+        for name, base_value in sorted((base.get("metrics") or {}).items()):
+            got_value = (got.get("metrics") or {}).get(name)
+            if got_value is None:
+                failures.append(
+                    f"{bench}: metric {name!r} in baseline but not measured"
+                )
+                continue
+            if higher_is_better(name):
+                limit = base_value * (1.0 - tolerance)
+                regressed = got_value < limit
+                direction = ">="
+            else:
+                limit = base_value * (1.0 + tolerance)
+                regressed = got_value > limit
+                direction = "<="
+            status = "REGRESSED" if regressed else "ok"
+            lines.append(
+                f"{bench}: {name} {got_value:.3f} vs baseline "
+                f"{base_value:.3f} (must be {direction} {limit:.3f}) {status}"
+            )
+            if regressed:
+                failures.append(
+                    f"{bench}: {name} regressed to {got_value:.3f} "
+                    f"(baseline {base_value:.3f}, tolerance "
+                    f"{tolerance:.0%})"
+                )
+    for bench in sorted(set(results) - set(baseline)):
+        lines.append(f"{bench}: not in baseline (informational)")
+    return failures, lines
+
+
+def write_baseline(
+    results: Dict[str, dict], path: Path, wall_round: int = 2
+) -> None:
+    """Snapshot the results as the new committed baseline.
+
+    Outcomes are dropped (the baseline describes expected numbers, not a
+    past run), wall times are rounded — sub-centisecond noise has no
+    business producing baseline diffs — and absolute-unit metrics
+    (``*_per_s`` throughputs) are excluded: they describe the writing
+    machine, not the code, and would gate every slower runner red.
+    Review the written anchors before committing; ratios measured on an
+    unloaded workstation often deserve a manual haircut so the 25% band
+    does not flake on busier CI hardware.
+    """
+    benches = {}
+    for bench, entry in sorted(results.items()):
+        snapshot: Dict[str, object] = {}
+        if entry.get("wall_seconds") is not None:
+            snapshot["wall_seconds"] = round(entry["wall_seconds"], wall_round)
+        metrics = {
+            name: round(value, 3)
+            for name, value in sorted((entry.get("metrics") or {}).items())
+            if is_portable(name)
+        }
+        if metrics:
+            snapshot["metrics"] = metrics
+        benches[bench] = snapshot
+    payload = {"schema_version": SCHEMA_VERSION, "benches": benches}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results",
+        type=Path,
+        default=DEFAULT_RESULTS,
+        help="benchmark session output (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="committed baseline (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression for measured metrics "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=2.0,
+        help="allowed fractional wall-time growth; generous by default "
+        "because absolute seconds vary across runners "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="snapshot --results as the new --baseline and exit",
+    )
+    args = parser.parse_args()
+
+    if not args.results.exists():
+        print(f"no results at {args.results}; run the benchmarks first")
+        return 2
+    results = load(args.results)
+    if args.write_baseline:
+        write_baseline(results, args.baseline)
+        print(f"wrote {len(results)} bench entries to {args.baseline}")
+        return 0
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; commit one with --write-baseline")
+        return 2
+    baseline = load(args.baseline)
+
+    failures, lines = compare(
+        results, baseline, args.tolerance, args.wall_tolerance
+    )
+    print(
+        f"perf gate: {len(baseline)} baseline benches, "
+        f"metric tolerance {args.tolerance:.0%}, "
+        f"wall tolerance {args.wall_tolerance:.0%}"
+    )
+    for line in lines:
+        print("  " + line)
+    if failures:
+        print(f"\n{len(failures)} regression(s):")
+        for failure in failures:
+            print("  FAIL " + failure)
+        return 1
+    print("\nno regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,22 +1,32 @@
 """Shared configuration for the benchmark suite.
 
-Each benchmark regenerates one table or figure of the paper.  The corpora
-are prepared once per session (and cached by ``prepare_corpus``), the
-pytest-benchmark fixture times the interesting computation, and every
+Each benchmark regenerates one table or figure of the paper (or gates one
+of the serving-stack performance claims).  The corpora are prepared once
+per session, the benchmark times the interesting computation, and every
 benchmark *prints* the regenerated rows/series so running
 
     pytest benchmarks/ --benchmark-only -s
 
-reproduces the paper's evaluation output in one go.  The printed reports are
-also collected and written to ``benchmarks/last_run_reports.txt`` at the end
-of the session for later inspection.
+reproduces the paper's evaluation output in one go.
+
+Two session artefacts are produced:
+
+* ``benchmarks/last_run_reports.txt`` — the printed human-readable
+  reports (gitignored; a local convenience, not a tracked file);
+* ``benchmarks/BENCH_results.json`` — the machine-readable results: per
+  benchmark wall time, outcome and every scalar a benchmark recorded via
+  :func:`record_metric` (measured speedup ratios, throughputs).  CI
+  compares this file against the committed ``benchmarks/baseline.json``
+  with ``benchmarks/compare_baseline.py`` and fails the build on
+  regressions beyond the tolerance band.
 """
 
 from __future__ import annotations
 
+import json
 import warnings
 from pathlib import Path
-from typing import List
+from typing import Dict, List, Optional
 
 import pytest
 
@@ -30,7 +40,21 @@ BENCH_SEED = 7
 BENCH_QUERIES = 32
 BENCH_CONCEPTS = 30
 
+#: Machine-readable session results, consumed by compare_baseline.py.
+RESULTS_FILENAME = "BENCH_results.json"
+RESULTS_SCHEMA_VERSION = 1
+
 _collected_reports: List[str] = []
+_bench_results: Dict[str, Dict[str, object]] = {}
+_current_bench: Optional[str] = None
+
+
+def _bench_key(nodeid: str) -> str:
+    """Stable result key: the nodeid without the invocation-dependent
+    ``benchmarks/`` prefix, so runs from the repo root and from inside
+    ``benchmarks/`` produce identical keys."""
+    prefix = "benchmarks/"
+    return nodeid[len(prefix) :] if nodeid.startswith(prefix) else nodeid
 
 
 def record_report(text: str) -> None:
@@ -39,10 +63,63 @@ def record_report(text: str) -> None:
     _collected_reports.append(text)
 
 
-@pytest.fixture(scope="session", autouse=True)
-def _dump_reports_at_end():
+def record_metric(name: str, value: float) -> None:
+    """Attach one measured scalar to the currently running benchmark.
+
+    Speedup ratios and throughputs recorded here land in
+    ``BENCH_results.json`` under the benchmark's key and are what the CI
+    baseline comparison gates on (wall times are collected automatically
+    but vary with hardware; the measured *ratios* are the portable
+    signal).
+    """
+    if _current_bench is None:
+        raise RuntimeError(
+            "record_metric() called outside a running benchmark"
+        )
+    entry = _bench_results.setdefault(_current_bench, {"metrics": {}})
+    entry["metrics"][name] = float(value)
+
+
+@pytest.fixture(autouse=True)
+def _track_current_bench(request):
+    """Point :func:`record_metric` at the benchmark that is running.
+
+    An autouse fixture rather than a global hook so it scopes to this
+    directory: a full-repo ``pytest`` run tracks benchmarks only.
+    """
+    global _current_bench
+    _current_bench = _bench_key(request.node.nodeid)
     yield
-    if not _collected_reports:
+    _current_bench = None
+
+
+def pytest_runtest_logreport(report):
+    """Collect wall time + outcome for every benchmark's call phase."""
+    if report.when != "call":
         return
-    output = Path(__file__).parent / "last_run_reports.txt"
-    output.write_text("\n\n".join(_collected_reports) + "\n", encoding="utf-8")
+    key = _bench_key(report.nodeid)
+    if "test_bench_" not in key:
+        return
+    entry = _bench_results.setdefault(key, {"metrics": {}})
+    entry["wall_seconds"] = report.duration
+    entry["outcome"] = report.outcome
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _dump_artefacts_at_end():
+    yield
+    directory = Path(__file__).parent
+    if _collected_reports:
+        output = directory / "last_run_reports.txt"
+        output.write_text(
+            "\n\n".join(_collected_reports) + "\n", encoding="utf-8"
+        )
+    if _bench_results:
+        payload = {
+            "schema_version": RESULTS_SCHEMA_VERSION,
+            "benches": _bench_results,
+        }
+        (directory / RESULTS_FILENAME).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )

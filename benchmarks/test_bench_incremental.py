@@ -18,7 +18,7 @@ import time
 
 import numpy as np
 
-from conftest import record_report
+from conftest import record_metric, record_report
 from repro.core.pipeline import CubeLSIPipeline
 from repro.eval.reporting import format_table
 from repro.search.engine import SearchEngine
@@ -124,6 +124,7 @@ def test_one_percent_delta_beats_full_refit_by_10x():
             position = group_end + 1
 
     speedup = fit_seconds / update_seconds
+    record_metric("delta_vs_refit_speedup", speedup)
     record_report(
         "== incremental: 1% delta fold-in vs full CubeLSI refit ==\n"
         + format_table(

@@ -21,7 +21,7 @@ from typing import List
 
 import numpy as np
 
-from conftest import record_report
+from conftest import record_metric, record_report
 from repro.core.concepts import Concept, ConceptModel
 from repro.search.engine import SearchEngine
 from repro.tagging.folksonomy import Folksonomy
@@ -94,6 +94,7 @@ def test_batched_matrix_scoring_is_10x_faster_with_identical_rankings():
             assert abs(expected.score - got.score) <= 1e-9
 
     speedup = dict_seconds / batch_seconds
+    record_metric("batched_vs_dict_speedup", speedup)
     record_report(
         "== query-batch: batched CSR scoring vs per-query dict loops ==\n"
         f"corpus: {NUM_RESOURCES} resources, {folksonomy.num_tags} tags, "

@@ -27,7 +27,7 @@ from typing import List
 
 import numpy as np
 
-from conftest import record_report
+from conftest import record_metric, record_report
 from repro.core.concepts import Concept, ConceptModel
 from repro.eval.reporting import format_table
 from repro.eval.sharding import rankings_match, sharding_sweep
@@ -110,6 +110,7 @@ def test_four_shard_fanout_throughput_with_exact_parity():
         verdict = "reported only: fewer than 4 cores, no parallelism to claim"
     else:
         verdict = "reported only: shared CI runner"
+    record_metric("four_shard_fanout_speedup", speedup)
     record_report(
         "== sharding: parallel fan-out rank_batch vs monolithic engine ==\n"
         + format_table(rows)
@@ -165,6 +166,7 @@ def test_exact_hit_query_cache_is_50x_faster_than_rescoring():
 
         speedup = rescore_seconds / hit_seconds
         per_hit = hit_seconds / len(queries)
+        record_metric("cache_hit_vs_rescore_speedup", speedup)
         record_report(
             "== sharding: exact-hit QueryCache vs re-scoring ==\n"
             f"re-score {NUM_QUERIES} queries : {format_duration(rescore_seconds)} "

@@ -23,7 +23,7 @@ from typing import List
 
 import numpy as np
 
-from conftest import record_report
+from conftest import record_metric, record_report
 from repro.core.concepts import Concept, ConceptModel
 from repro.eval.reporting import format_table
 from repro.eval.workload import workload_sweep
@@ -120,6 +120,7 @@ def test_concurrent_replay_not_slower_than_serial():
         verdict = "reported only: fewer than 4 cores, no parallelism to claim"
     else:
         verdict = "reported only: shared CI runner"
+    record_metric("concurrent_vs_serial_ratio", ratio)
     counts = trace.op_counts()
     lines = [
         "== workload: concurrent replay vs serial golden "

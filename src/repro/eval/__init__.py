@@ -13,6 +13,8 @@
 * :mod:`repro.eval.workload` — workload replay sweep: concurrent replay
   throughput at increasing worker counts, parity with the serial golden
   enforced.
+* :mod:`repro.eval.serve` — batch-window sweep of the micro-batching
+  serving front-end, parity with direct ``rank_batch`` enforced.
 """
 
 from repro.eval.ndcg import (
@@ -35,6 +37,7 @@ from repro.eval.incremental import (
     DeltaReplayStep,
     replay_deltas,
 )
+from repro.eval.serve import frontend_sweep
 from repro.eval.sharding import rankings_match, sharding_sweep
 from repro.eval.workload import workload_sweep
 
@@ -58,4 +61,5 @@ __all__ = [
     "rankings_match",
     "sharding_sweep",
     "workload_sweep",
+    "frontend_sweep",
 ]

@@ -38,6 +38,7 @@ def workload_sweep(
     trace: WorkloadTrace,
     worker_counts: Sequence[int] = (1, 2, 4),
     tol: float = PARITY_TOL,
+    frontend_config=None,
 ) -> Tuple[List[Dict[str, object]], List[WorkloadReport]]:
     """Replay ``trace`` at each worker count; return table rows + reports.
 
@@ -47,7 +48,10 @@ def workload_sweep(
     it — errors, state divergence, probe-ranking drift beyond ``tol`` or
     an epoch regression all raise :class:`ConfigurationError`.  Returned
     reports are ordered like the rows: golden first, then one per worker
-    count.
+    count.  ``frontend_config`` (a :class:`repro.serve.FrontendConfig`)
+    routes every concurrent replay's queries through a micro-batching
+    front-end — the serial golden stays direct — so the sweep proves the
+    batching path against the same invariants.
     """
     if not worker_counts:
         raise ConfigurationError("workload_sweep needs >= 1 worker count")
@@ -75,6 +79,7 @@ def workload_sweep(
                 tol=tol,
                 serial_report=golden,
                 serial_rankings=golden_rankings,
+                frontend_config=frontend_config,
             )
             if not verdict.ok:
                 raise ConfigurationError(

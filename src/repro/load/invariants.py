@@ -65,6 +65,7 @@ def check_replay_parity(
     serial_report: Optional[WorkloadReport] = None,
     serial_engine: Optional[object] = None,
     serial_rankings: Optional[Tuple[int, List[list]]] = None,
+    frontend_config: Optional[object] = None,
 ) -> ReplayParityReport:
     """Replay ``trace`` serially and concurrently; verify the invariants.
 
@@ -77,6 +78,16 @@ def check_replay_parity(
     :func:`~repro.load.runner.quiesced_rankings` pair, so the probes are
     not re-ranked per call) or ``serial_engine`` to derive them; a
     caller-provided serial engine is *not* closed here.
+
+    With ``frontend_config`` (a :class:`repro.serve.FrontendConfig`), the
+    *concurrent* replay routes every query through a
+    :class:`~repro.serve.frontend.BatchingFrontend` wrapped around the
+    concurrent engine — worker submissions coalesce into micro-batched
+    engine reads — while the serial golden stays direct, so the exact
+    same invariants (zero errors, state convergence, post-quiesce probe
+    parity, epoch monotonicity) are re-proven *through the batching
+    path*.  The front-end is drained and closed before the quiesced
+    probes are ranked.
     """
     # Deferred: repro.eval.workload wraps this checker, so importing the
     # comparator at module scope would make repro.load and repro.eval
@@ -101,9 +112,21 @@ def check_replay_parity(
 
     concurrent_engine = build_engine()
     try:
-        concurrent_report = WorkloadRunner(
-            concurrent_engine, trace
-        ).run_concurrent(num_workers)
+        if frontend_config is not None:
+            # Deferred for the same reason as rankings_match above:
+            # repro.serve reuses repro.load's LatencyHistogram.
+            from repro.serve.frontend import BatchingFrontend
+
+            with BatchingFrontend(
+                concurrent_engine, frontend_config, name="replay"
+            ) as frontend:
+                concurrent_report = WorkloadRunner(
+                    concurrent_engine, trace
+                ).run_concurrent(num_workers, frontend=frontend)
+        else:
+            concurrent_report = WorkloadRunner(
+                concurrent_engine, trace
+            ).run_concurrent(num_workers)
 
         violations: List[str] = []
         mismatched: List[int] = []

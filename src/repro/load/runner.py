@@ -91,6 +91,22 @@ class LatencyHistogram:
     def mean_seconds(self) -> float:
         return self.total_seconds / self.count if self.count else 0.0
 
+    def bucket_upper_bounds(self) -> List[float]:
+        """Exclusive upper edge of every bucket; the last is ``+inf``.
+
+        Public so exporters (the serving metrics registry's
+        Prometheus-style text format) can render the histogram without
+        reaching into the private counts.
+        """
+        return [
+            _BUCKET_FLOOR * (_BUCKET_FACTOR**bucket)
+            for bucket in range(_NUM_BUCKETS)
+        ] + [float("inf")]
+
+    def bucket_counts(self) -> List[int]:
+        """Per-bucket sample counts, aligned with :meth:`bucket_upper_bounds`."""
+        return list(self._counts)
+
     def quantile(self, q: float) -> float:
         """Upper edge of the bucket containing the ``q``-quantile sample.
 
@@ -240,13 +256,27 @@ class WorkloadRunner:
         wall = time.perf_counter() - started
         return self._finish("serial", 0, wall, latencies, epoch_log, errors)
 
-    def run_concurrent(self, num_workers: int) -> WorkloadReport:
+    def run_concurrent(
+        self, num_workers: int, frontend=None
+    ) -> WorkloadReport:
         """Replay the trace across ``num_workers`` threads.
 
         Workers pull operations from a shared cursor; queries execute
         immediately while mutation batches wait at the ordering gate for
         their ``mutation_seq`` turn — so the final state matches the
         serial replay while reads and writes genuinely race in between.
+
+        With ``frontend`` (a :class:`repro.serve.BatchingFrontend` built
+        around this runner's engine, duck-typed to avoid a load <-> serve
+        import cycle), queries are *submitted* instead of executed: each
+        worker blocks on its own future while the front-end coalesces the
+        racing submissions into micro-batched engine reads.  The observed
+        epoch then comes from the resolved
+        :class:`~repro.serve.frontend.QueryResponse`, so the epoch audit
+        covers the batching path end to end.  Mutations and refreshes
+        keep going straight to the engine — the front-end is a read-only
+        surface.  The caller owns the front-end's lifecycle (it is not
+        closed here).
         """
         if num_workers < 1:
             raise ConfigurationError(
@@ -273,6 +303,7 @@ class WorkloadRunner:
                     errors,
                     errors_lock=errors_lock,
                     gate=gate,
+                    frontend=frontend,
                 )
 
         threads = [
@@ -312,6 +343,7 @@ class WorkloadRunner:
         errors: List[str],
         errors_lock: Optional[threading.Lock] = None,
         gate: Optional[_MutationGate] = None,
+        frontend=None,
     ) -> None:
         if op.kind == MUTATE and gate is not None:
             # Wait *outside* the timed region: the gate models trace
@@ -320,10 +352,16 @@ class WorkloadRunner:
         started = time.perf_counter()
         try:
             if op.kind == QUERY:
-                epoch, _results = self.engine.snapshot_rank_batch(
-                    [list(op.query_tags)], top_k=op.top_k
-                )
-                epoch_log.record(reader, epoch)
+                if frontend is not None:
+                    response = frontend.submit(
+                        list(op.query_tags), top_k=op.top_k
+                    ).result()
+                    epoch_log.record(reader, response.epoch)
+                else:
+                    epoch, _results = self.engine.snapshot_rank_batch(
+                        [list(op.query_tags)], top_k=op.top_k
+                    )
+                    epoch_log.record(reader, epoch)
             elif op.kind == MUTATE:
                 self.engine.apply_mutations(
                     added=op.added, updated=op.updated, removed=op.removed

@@ -1,0 +1,109 @@
+"""Admission control: a bounded queue that sheds load instead of queueing.
+
+A micro-batching front-end converts burst arrivals into bounded-size
+engine calls, but the *queue in front of the batcher* is still unbounded
+unless something says no.  :class:`AdmissionController` is that something:
+it tracks how many requests are in flight (submitted, not yet resolved)
+and rejects new submissions with a typed :class:`Overloaded` error once
+``max_pending`` is reached — the client gets an immediate, retryable
+signal instead of a latency cliff, and the front-end's memory stays
+bounded no matter how hard the storm.
+
+The controller is deliberately a counter, not a queue: the front-end owns
+the actual request list, and tickets are released when the request
+resolves (result, error or shed), so ``pending`` equals true in-flight
+depth rather than just batcher backlog.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.utils.errors import ConfigurationError, ReproError
+
+
+class Overloaded(ReproError):
+    """The front-end shed a request because its queue is saturated.
+
+    Carries the observed depth and the configured limit so callers (and
+    load-shedding telemetry) can report how far over the line the system
+    was, and clients can implement informed backoff.
+    """
+
+    def __init__(self, pending: int, max_pending: int) -> None:
+        super().__init__(
+            f"serving queue saturated: {pending} requests in flight "
+            f"(limit {max_pending}); retry with backoff"
+        )
+        self.pending = pending
+        self.max_pending = max_pending
+
+
+class AdmissionController:
+    """Bounded in-flight tickets with a shed counter.
+
+    :meth:`admit` hands out one ticket or raises :class:`Overloaded`;
+    :meth:`release` returns it when the request resolves.  Both are O(1)
+    under one mutex, so admission never becomes the bottleneck it guards
+    against.
+    """
+
+    def __init__(self, max_pending: int) -> None:
+        if max_pending < 1:
+            raise ConfigurationError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        self._max_pending = int(max_pending)
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._shed = 0
+
+    @property
+    def max_pending(self) -> int:
+        return self._max_pending
+
+    @property
+    def pending(self) -> int:
+        """Requests currently holding a ticket."""
+        with self._lock:
+            return self._pending
+
+    @property
+    def shed(self) -> int:
+        """Requests rejected since construction."""
+        with self._lock:
+            return self._shed
+
+    def admit(self) -> int:
+        """Take one ticket; raises :class:`Overloaded` at the limit.
+
+        Returns the in-flight depth *including* the new request, which the
+        front-end mirrors into its queue-depth gauge without a second
+        lock round-trip.
+        """
+        with self._lock:
+            if self._pending >= self._max_pending:
+                self._shed += 1
+                raise Overloaded(self._pending, self._max_pending)
+            self._pending += 1
+            return self._pending
+
+    def release(self, count: int = 1) -> int:
+        """Return ``count`` tickets; returns the remaining depth."""
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        with self._lock:
+            if count > self._pending:
+                raise ConfigurationError(
+                    f"released {count} tickets with only {self._pending} "
+                    "in flight"
+                )
+            self._pending -= count
+            return self._pending
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"AdmissionController(pending={self._pending}, "
+                f"max_pending={self._max_pending}, shed={self._shed})"
+            )

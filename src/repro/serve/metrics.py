@@ -1,0 +1,252 @@
+"""Serving telemetry: one registry for everything the front-end measures.
+
+The batching front-end's whole value proposition — "coalescing concurrent
+queries into one matmul is faster" — is a *measured* claim, so the
+subsystem carries its own instrumentation instead of relying on ad-hoc
+prints:
+
+* **per-stage latency histograms** — the log-spaced
+  :class:`~repro.load.runner.LatencyHistogram` the workload replay runner
+  already uses (one histogram covers microsecond cache hits and
+  multi-second refreshes), guarded here by the registry lock because the
+  front-end records from submitter threads *and* the batcher thread;
+* **counters** — monotone totals (requests submitted, completed, shed,
+  coalesced, errors, cache hits/misses);
+* **gauges** — last-written values (queue depth, in-flight batch size);
+* **size distributions** — exact per-value counts for small integer
+  observations (batch sizes), so "what batch sizes did the window
+  actually form?" has a precise answer, not a bucketed estimate.
+
+:meth:`MetricsRegistry.export_text` renders everything in the
+Prometheus text exposition format (``# TYPE`` comments, cumulative
+``_bucket{le="..."}`` histogram series), so a scrape endpoint only has to
+serve the string.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.load.runner import LatencyHistogram
+from repro.utils.errors import ConfigurationError
+
+
+class SizeDistribution:
+    """Exact counts of small non-negative integer observations.
+
+    Batch sizes are tiny integers, so instead of log-bucketing them the
+    distribution keeps one exact count per observed value — mean, max and
+    quantiles are then exact, and the export lists every observed size.
+    Not thread-safe on its own; the owning registry serializes access.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+
+    def record(self, value: int) -> None:
+        if value < 0:
+            raise ConfigurationError(f"size must be >= 0, got {value}")
+        value = int(value)
+        self._counts[value] = self._counts.get(value, 0) + 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def max(self) -> int:
+        return max(self._counts) if self._counts else 0
+
+    def quantile(self, q: float) -> int:
+        """The smallest observed value covering the ``q``-quantile."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0
+        target = q * self.count
+        seen = 0
+        for value in sorted(self._counts):
+            seen += self._counts[value]
+            if seen >= target:
+                return value
+        return self.max
+
+    def counts(self) -> Dict[int, int]:
+        """A copy of the per-value counts (export + assertions)."""
+        return dict(self._counts)
+
+
+def _metric_name(prefix: str, name: str) -> str:
+    """Prometheus-legal metric name: dots and dashes become underscores."""
+    cleaned = name.replace(".", "_").replace("-", "_").replace(" ", "_")
+    return f"{prefix}_{cleaned}" if prefix else cleaned
+
+
+class MetricsRegistry:
+    """Thread-safe counters, gauges, latency histograms and distributions.
+
+    All mutation goes through one lock: the front-end records from many
+    submitter threads plus the batcher thread, and a scrape
+    (:meth:`export_text` / :meth:`snapshot`) must see an internally
+    consistent view (a completed request is never counted in ``completed``
+    while missing from its latency histogram's ``count``).
+    """
+
+    def __init__(self, prefix: str = "repro_serve") -> None:
+        self._prefix = prefix
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._latencies: Dict[str, LatencyHistogram] = {}
+        self._sizes: Dict[str, SizeDistribution] = {}
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the counter ``name`` (created at zero)."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counters are monotone; cannot add {amount} to {name!r}"
+            )
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe_latency(self, name: str, seconds: float) -> None:
+        """Record one latency sample into the histogram ``name``."""
+        with self._lock:
+            histogram = self._latencies.get(name)
+            if histogram is None:
+                histogram = self._latencies[name] = LatencyHistogram()
+            histogram.record(seconds)
+
+    def observe_size(self, name: str, value: int) -> None:
+        """Record one integer sample into the distribution ``name``."""
+        with self._lock:
+            distribution = self._sizes.get(name)
+            if distribution is None:
+                distribution = self._sizes[name] = SizeDistribution()
+            distribution.record(value)
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> Optional[float]:
+        with self._lock:
+            return self._gauges.get(name)
+
+    def latency(self, name: str) -> LatencyHistogram:
+        """A merged *copy* of the histogram ``name`` (empty if unknown).
+
+        A copy, so callers can quantile/summarize it without racing the
+        recording threads.
+        """
+        with self._lock:
+            merged = LatencyHistogram()
+            histogram = self._latencies.get(name)
+            if histogram is not None:
+                merged.merge(histogram)
+            return merged
+
+    def size_distribution(self, name: str) -> SizeDistribution:
+        """A copy of the distribution ``name`` (empty if unknown)."""
+        with self._lock:
+            copied = SizeDistribution()
+            distribution = self._sizes.get(name)
+            if distribution is not None:
+                for value, count in distribution.counts().items():
+                    copied._counts[value] = count
+                copied.count = distribution.count
+                copied.total = distribution.total
+            return copied
+
+    def snapshot(self) -> Dict[str, object]:
+        """One consistent plain-dict view (reports, workload summaries)."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "latencies": {
+                    name: histogram.summary()
+                    for name, histogram in sorted(self._latencies.items())
+                },
+                "sizes": {
+                    name: {
+                        "count": distribution.count,
+                        "mean": distribution.mean,
+                        "max": distribution.max,
+                    }
+                    for name, distribution in sorted(self._sizes.items())
+                },
+            }
+
+    # ------------------------------------------------------------------ #
+    # Prometheus-style text export
+    # ------------------------------------------------------------------ #
+    def export_text(self) -> str:
+        """Render every metric in the Prometheus text exposition format.
+
+        Counters export as ``<name>_total``, gauges as-is, latency
+        histograms as cumulative ``_bucket{le="..."}`` series plus
+        ``_sum``/``_count`` (bucket edges are this library's exclusive
+        upper edges, rendered as Prometheus's inclusive ``le`` — the
+        one-sample-on-the-edge difference is irrelevant at scrape
+        granularity), and size distributions as exact-value buckets.
+        """
+        with self._lock:
+            lines: List[str] = []
+            for name in sorted(self._counters):
+                metric = _metric_name(self._prefix, name) + "_total"
+                lines.append(f"# TYPE {metric} counter")
+                lines.append(f"{metric} {self._counters[name]}")
+            for name in sorted(self._gauges):
+                metric = _metric_name(self._prefix, name)
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric} {self._gauges[name]:g}")
+            for name in sorted(self._latencies):
+                histogram = self._latencies[name]
+                metric = _metric_name(self._prefix, name) + "_seconds"
+                lines.append(f"# TYPE {metric} histogram")
+                cumulative = 0
+                for upper, count in zip(
+                    histogram.bucket_upper_bounds(),
+                    histogram.bucket_counts(),
+                ):
+                    cumulative += count
+                    edge = "+Inf" if upper == float("inf") else f"{upper:g}"
+                    lines.append(
+                        f'{metric}_bucket{{le="{edge}"}} {cumulative}'
+                    )
+                lines.append(f"{metric}_sum {histogram.total_seconds:g}")
+                lines.append(f"{metric}_count {histogram.count}")
+            for name in sorted(self._sizes):
+                distribution = self._sizes[name]
+                metric = _metric_name(self._prefix, name)
+                lines.append(f"# TYPE {metric} histogram")
+                counts = distribution.counts()
+                cumulative = 0
+                for value in sorted(counts):
+                    cumulative += counts[value]
+                    lines.append(
+                        f'{metric}_bucket{{le="{value}"}} {cumulative}'
+                    )
+                lines.append(
+                    f'{metric}_bucket{{le="+Inf"}} {distribution.count}'
+                )
+                lines.append(f"{metric}_sum {distribution.total}")
+                lines.append(f"{metric}_count {distribution.count}")
+            return "\n".join(lines) + "\n"

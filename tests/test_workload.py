@@ -13,6 +13,7 @@ regression, and randomized mutation/refresh interleavings that must end
 
 from __future__ import annotations
 
+import os
 import threading
 
 import numpy as np
@@ -40,6 +41,12 @@ from repro.search.vsm import ConceptVectorSpace
 from repro.utils.errors import ConfigurationError
 
 SHARD_COUNTS = (1, 2, 4)
+
+#: Worker threads for the concurrent-replay acceptance suite.  The CI
+#: version matrix and local runs use the default 4; the nightly stress
+#: job raises it (WORKLOAD_WORKERS=8) to shake out schedules a lighter
+#: thread count never produces.
+NUM_WORKERS = max(1, int(os.environ.get("WORKLOAD_WORKERS", "4")))
 
 
 def make_trace(folksonomy, **overrides):
@@ -224,7 +231,7 @@ class TestConcurrentReplayAcceptance:
         report = check_replay_parity(
             lambda: build_sharded(small_cleaned, 4),
             trace,
-            num_workers=4,
+            num_workers=NUM_WORKERS,
         )
         assert report.ok, report.summary()
         assert report.concurrent.errors == []
@@ -239,7 +246,7 @@ class TestConcurrentReplayAcceptance:
         report = check_replay_parity(
             lambda: build_sharded(small_cleaned, num_shards),
             trace,
-            num_workers=4,
+            num_workers=NUM_WORKERS,
         )
         assert report.ok, report.summary()
 
@@ -248,7 +255,7 @@ class TestConcurrentReplayAcceptance:
             small_cleaned, num_operations=200, query_fraction=0.8, seed=37
         )
         report = check_replay_parity(
-            lambda: build_mono(small_cleaned), trace, num_workers=4
+            lambda: build_mono(small_cleaned), trace, num_workers=NUM_WORKERS
         )
         assert report.ok, report.summary()
 
