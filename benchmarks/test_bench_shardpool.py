@@ -1,0 +1,148 @@
+"""Process-pool fan-out throughput and cold-start cost: the GIL-escape gate.
+
+``test_bench_sharding.py`` records the thread-pool fan-out's 0.43x
+"speedup" — scipy's sparse matmul holds the GIL, so four shard threads
+serialize and sharding made serving *slower* than the monolith.  The
+process pool is the fix, and this file gates it:
+
+* **The fan-out finally scales.** A 4-shard :class:`ShardProcessPool`
+  (one worker interpreter per shard, no shared GIL) must rank the same
+  workload >= 2x faster than the monolithic engine on a multi-core
+  non-CI runner.  On fewer cores there is no parallelism to claim and on
+  shared CI runners relative speedup is an environment artefact, so the
+  gate relaxes there to a no-pathological-slowdown floor — but the sweep
+  still runs end to end, every pooled ranking is verified against the
+  monolithic engine to 1e-9, and every fan-out must be complete (a
+  degraded read fails the bench).  IPC adds per-batch overhead the
+  thread pool does not pay (queries and results cross a pipe), which is
+  exactly why the floor is a *sanity* bar, not a parity-of-throughput
+  bar, on serial hardware.
+* **mmap opens are cheap.** Workers memory-map the ``mmap_ready`` save
+  layout instead of decompressing ``.npz`` archives into RAM; the bench
+  records worker cold-start (array open) time for mmap vs eager loads
+  into ``BENCH_results.json``.  Absolute seconds are machine-dependent,
+  so they are recorded for trend-watching rather than anchored in
+  ``baseline.json`` (the comparator would gate every slower runner red).
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import record_metric, record_report
+from repro.eval.reporting import format_table
+from repro.eval.shardpool import pool_sweep
+from repro.search.engine import SearchEngine
+from repro.search.sharding import ShardedSearchEngine
+from repro.search.shardpool import ShardPoolConfig, ShardProcessPool
+from test_bench_sharding import (
+    NUM_CONCEPTS,
+    NUM_QUERIES,
+    NUM_RESOURCES,
+    TOP_K,
+    build_corpus,
+)
+
+SHARD_COUNTS = (1, 2, 4)
+#: The parallel-speedup claim only exists on parallel hardware; below this
+#: many cores the 4-shard gate degrades to a no-pathological-slowdown bar.
+MIN_CORES_FOR_SPEEDUP_GATE = 4
+#: On a local >= 4-core machine the 4-process fan-out must be >= 2x the
+#: monolith — the ISSUE 6 acceptance bar replacing the 0.43x thread-pool
+#: regression.  Shared CI runners get the measurement + sanity floor only.
+MIN_POOL_SPEEDUP = 2.0
+#: Floor for non-gated environments: pipe IPC + merge overhead must never
+#: make the pool pathologically slower than the monolith.  Lower than the
+#: thread pool's 0.2 floor on purpose — on serial hardware the pool pays
+#: for pickling queries and results across pipes, a cost the threads'
+#: shared address space never sees.
+MIN_POOL_SANITY_RATIO = 0.1
+#: Cold starts must stay interactive on any machine (loose sanity bound).
+MAX_COLD_START_SECONDS = 30.0
+
+
+def test_four_shard_process_pool_speedup_with_exact_parity(tmp_path):
+    folksonomy, model, queries = build_corpus(seed=103)
+    engine = SearchEngine.build(folksonomy, model, name="mono")
+    rows = pool_sweep(
+        engine,
+        queries,
+        shard_counts=SHARD_COUNTS,
+        top_k=TOP_K,
+        repeats=3,
+        mmap=True,
+        directory=tmp_path,
+    )
+
+    cores = os.cpu_count() or 1
+    four_shard = next(row for row in rows if row["Shards"] == 4)
+    speedup = float(four_shard["Speedup"])
+    gated = cores >= MIN_CORES_FOR_SPEEDUP_GATE and not os.environ.get("CI")
+    if gated:
+        verdict = f"gated >= {MIN_POOL_SPEEDUP:.1f}x"
+    elif cores < MIN_CORES_FOR_SPEEDUP_GATE:
+        verdict = "reported only: fewer than 4 cores, no parallelism to claim"
+    else:
+        verdict = "reported only: shared CI runner"
+    record_metric("four_shard_pool_speedup", speedup)
+    record_report(
+        "== shardpool: process-per-shard fan-out vs monolithic engine ==\n"
+        + format_table(rows)
+        + f"\ncorpus: {NUM_RESOURCES} resources, {folksonomy.num_tags} tags, "
+        f"{NUM_CONCEPTS} concepts; {NUM_QUERIES} queries @ top-{TOP_K}; "
+        f"{cores} cores\n"
+        f"4-process speedup: {speedup:.2f}x ({verdict}; parity with the "
+        "monolithic rankings verified to 1e-9 inside the sweep, every "
+        "fan-out complete)"
+    )
+    if gated:
+        assert speedup >= MIN_POOL_SPEEDUP, (
+            f"4-shard process pool only {speedup:.2f}x the monolithic "
+            f"engine on {cores} cores (required >= {MIN_POOL_SPEEDUP}x — "
+            "the whole point of escaping the GIL)"
+        )
+    else:
+        assert speedup >= MIN_POOL_SANITY_RATIO, (
+            f"4-shard process pool collapsed to {speedup:.2f}x on {cores} "
+            f"core(s) — IPC/merge overhead is pathological "
+            f"(required >= {MIN_POOL_SANITY_RATIO}x)"
+        )
+
+
+def test_pool_cold_start_mmap_vs_eager(tmp_path):
+    folksonomy, model, _queries = build_corpus(seed=107)
+    engine = SearchEngine.build(folksonomy, model, name="mono")
+    sharded = ShardedSearchEngine.from_engine(
+        engine, num_shards=4, cache_entries=None
+    )
+    save_dir = tmp_path / "index"
+    try:
+        sharded.save(save_dir, mmap_ready=True)
+    finally:
+        sharded.close()
+
+    cold_starts = {}
+    for label, mmap in (("mmap", True), ("eager", False)):
+        best = float("inf")
+        for _ in range(3):
+            with ShardProcessPool(
+                save_dir, ShardPoolConfig(mmap=mmap)
+            ) as pool:
+                # Worst worker's array-open time: process spawn cost is
+                # identical between the layouts, the load is what differs.
+                best = min(best, max(pool.worker_load_seconds()))
+        cold_starts[label] = best
+        record_metric(f"pool_cold_start_{label}_seconds", best)
+
+    record_report(
+        "== shardpool: worker cold-start, mmap vs eager load ==\n"
+        f"mmap  (npy, zero-copy open) : {cold_starts['mmap'] * 1e3:.2f} ms\n"
+        f"eager (arrays read into RAM): {cold_starts['eager'] * 1e3:.2f} ms\n"
+        "(worst worker per pool, best of 3 pools; recorded, not anchored — "
+        "absolute seconds are machine properties)"
+    )
+    for label, seconds in cold_starts.items():
+        assert seconds < MAX_COLD_START_SECONDS, (
+            f"{label} cold start took {seconds:.1f}s — a shard open must "
+            "stay interactive"
+        )

@@ -125,6 +125,7 @@ class OfflineIndex:
         directory: Union[str, Path],
         include_folksonomy: bool = False,
         num_shards: Optional[int] = None,
+        mmap_ready: bool = False,
     ) -> Path:
         """Write the serving artefacts (engine + metadata) to ``directory``.
 
@@ -137,6 +138,11 @@ class OfflineIndex:
         a monolithic engine on the fly into that layout, so the offline
         indexer can emit artefacts an N-process deployment loads one shard
         each from (:meth:`load` restores either layout transparently).
+        ``mmap_ready=True`` writes the compiled arrays as raw ``.npy``
+        files instead of a compressed ``.npz``, the layout
+        :class:`~repro.search.shardpool.ShardProcessPool` workers
+        memory-map so one host's worker fleet shares a single page-cache
+        copy of the index.
 
         ``num_concepts`` records the *static* (distilled) concept count, the
         figure that is stable across the index's lifetime — dynamic
@@ -163,7 +169,7 @@ class OfflineIndex:
             )
         path = Path(directory)
         path.mkdir(parents=True, exist_ok=True)
-        engine.save(path)
+        engine.save(path, mmap_ready=mmap_ready)
         self._drop_other_layout(
             path, sharded=isinstance(engine, ShardedSearchEngine)
         )

@@ -44,7 +44,12 @@ class IndexSnapshotStore:
     # ------------------------------------------------------------------ #
     # Write path
     # ------------------------------------------------------------------ #
-    def save(self, index: OfflineIndex, num_shards: Optional[int] = None) -> Path:
+    def save(
+        self,
+        index: OfflineIndex,
+        num_shards: Optional[int] = None,
+        mmap_ready: bool = False,
+    ) -> Path:
         """Checkpoint ``index`` under its engine's current epoch.
 
         Re-checkpointing the current epoch overwrites it in place, so a
@@ -63,7 +68,10 @@ class IndexSnapshotStore:
         ``num_shards`` shards a monolithic engine's checkpoint on the fly —
         either way :meth:`load` (via ``OfflineIndex.load``) restores the
         right engine, and an N-process deployment can point
-        ``ShardedSearchEngine.load_shard`` at the snapshot directory.
+        ``ShardedSearchEngine.load_shard`` — or a
+        :class:`~repro.search.shardpool.ShardProcessPool` — at the
+        snapshot directory (``mmap_ready=True`` writes the raw ``.npy``
+        array layout pool workers memory-map).
         """
         if index.folksonomy is None:
             raise ConfigurationError(
@@ -79,7 +87,12 @@ class IndexSnapshotStore:
         staging = self._root / f".staging-epoch-{index.engine.epoch:08d}"
         if staging.exists():
             shutil.rmtree(staging)
-        index.save(staging, include_folksonomy=True, num_shards=num_shards)
+        index.save(
+            staging,
+            include_folksonomy=True,
+            num_shards=num_shards,
+            mmap_ready=mmap_ready,
+        )
         if directory.exists():
             # Retire the old snapshot with a rename (not an rmtree) so the
             # unprotected window between losing the old directory and

@@ -10,6 +10,8 @@
   against a serving index (the streaming-update workload).
 * :mod:`repro.eval.sharding` — parity + throughput sweep of sharded
   engines against the monolithic baseline.
+* :mod:`repro.eval.shardpool` — the same sweep for the process-per-shard
+  pool: true multi-core fan-out, cold-start cost, degraded reads rejected.
 * :mod:`repro.eval.workload` — workload replay sweep: concurrent replay
   throughput at increasing worker counts, parity with the serial golden
   enforced.
@@ -39,6 +41,7 @@ from repro.eval.incremental import (
 )
 from repro.eval.serve import frontend_sweep
 from repro.eval.sharding import rankings_match, sharding_sweep
+from repro.eval.shardpool import pool_sweep
 from repro.eval.workload import workload_sweep
 
 __all__ = [
@@ -60,6 +63,7 @@ __all__ = [
     "replay_deltas",
     "rankings_match",
     "sharding_sweep",
+    "pool_sweep",
     "workload_sweep",
     "frontend_sweep",
 ]

@@ -1,0 +1,115 @@
+"""Evaluation harness for the process-per-shard serving pool.
+
+The pool's contract mirrors the sharded engine's — *parity at parallel
+speed* — but across process boundaries: each worker interpreter scores
+one shard with no shared GIL, so the fan-out speedup is real on
+multi-core machines instead of the thread pool's serialized 0.43x.
+:func:`pool_sweep` checks both halves in one pass: it times a
+``rank_batch`` workload on the monolithic engine and on process pools of
+increasing shard counts (saving each sharded layout to disk first, since
+workers load from the manifest), verifies every pooled ranking against
+the monolithic one with the shared tie-aware comparator
+(:func:`~repro.eval.sharding.rankings_match`), asserts every fan-out was
+complete (no degraded reads), and records per-worker cold-start load
+time so mmap-vs-eager open cost shows up in the same report.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.eval.sharding import rankings_match
+from repro.search.sharding import ShardedSearchEngine
+from repro.search.shardpool import ShardPoolConfig, ShardProcessPool
+from repro.utils.errors import ConfigurationError
+
+
+def pool_sweep(
+    engine,
+    queries: Sequence[Sequence[str]],
+    shard_counts: Sequence[int] = (1, 2, 4),
+    top_k: Optional[int] = 10,
+    repeats: int = 3,
+    mmap: bool = True,
+    directory: Optional[Union[str, Path]] = None,
+    config: Optional[ShardPoolConfig] = None,
+) -> List[Dict[str, object]]:
+    """Time and parity-check process pools against a monolithic engine.
+
+    For each shard count, partitions ``engine``, saves the sharded
+    layout (``mmap_ready=mmap``) under ``directory`` (a temporary
+    directory by default), opens a :class:`ShardProcessPool` over it,
+    times ``rank_batch`` over ``queries`` (best of ``repeats``) and
+    verifies every ranking.  The first returned row is the monolithic
+    baseline (``Shards == 0``); pool rows carry the speedup relative to
+    it plus the worst per-worker cold-start time.  Raises on any parity
+    violation or degraded fan-out — a fast wrong (or partial) answer is
+    not a result.
+    """
+    if not queries:
+        raise ConfigurationError("pool_sweep needs a non-empty workload")
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+
+    baseline_seconds = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        want = engine.rank_batch(queries, top_k=top_k)
+        baseline_seconds = min(baseline_seconds, time.perf_counter() - started)
+    rows: List[Dict[str, object]] = [
+        {
+            "Shards": 0,
+            "Engine": "monolithic",
+            "Seconds": round(baseline_seconds, 6),
+            "Queries/s": round(len(queries) / baseline_seconds, 1),
+            "Speedup": 1.0,
+            "Cold-start s": 0.0,
+        }
+    ]
+    with tempfile.TemporaryDirectory() as default_dir:
+        base_dir = Path(directory) if directory is not None else Path(default_dir)
+        for num_shards in shard_counts:
+            sharded = ShardedSearchEngine.from_engine(
+                engine, num_shards=num_shards, cache_entries=None
+            )
+            save_dir = base_dir / f"pool-{num_shards}"
+            try:
+                sharded.save(save_dir, mmap_ready=mmap)
+            finally:
+                sharded.close()
+            with ShardProcessPool(save_dir, config) as pool:
+                seconds = float("inf")
+                for _ in range(repeats):
+                    started = time.perf_counter()
+                    outcome = pool.rank_batch_detailed(queries, top_k=top_k)
+                    seconds = min(seconds, time.perf_counter() - started)
+                    if not outcome.complete:
+                        raise ConfigurationError(
+                            f"{num_shards}-shard pool fan-out degraded: "
+                            f"{outcome.failures}"
+                        )
+                for got_results, want_results in zip(outcome.results, want):
+                    if not rankings_match(
+                        got_results,
+                        want_results,
+                        truncated=top_k is not None,
+                    ):
+                        raise ConfigurationError(
+                            f"{num_shards}-shard pool rankings diverged "
+                            "from the monolithic engine"
+                        )
+                cold_start = max(pool.worker_load_seconds())
+            rows.append(
+                {
+                    "Shards": num_shards,
+                    "Engine": f"{num_shards}-process pool",
+                    "Seconds": round(seconds, 6),
+                    "Queries/s": round(len(queries) / seconds, 1),
+                    "Speedup": round(baseline_seconds / seconds, 2),
+                    "Cold-start s": round(cold_start, 6),
+                }
+            )
+    return rows

@@ -66,6 +66,7 @@ def check_replay_parity(
     serial_engine: Optional[object] = None,
     serial_rankings: Optional[Tuple[int, List[list]]] = None,
     frontend_config: Optional[object] = None,
+    concurrent_build_engine: Optional[Callable[[], object]] = None,
 ) -> ReplayParityReport:
     """Replay ``trace`` serially and concurrently; verify the invariants.
 
@@ -78,6 +79,16 @@ def check_replay_parity(
     :func:`~repro.load.runner.quiesced_rankings` pair, so the probes are
     not re-ranked per call) or ``serial_engine`` to derive them; a
     caller-provided serial engine is *not* closed here.
+
+    ``concurrent_build_engine`` swaps in a different factory for the
+    *concurrent* side only — the pool-backed replay mode: the serial
+    golden runs on the in-process engine while the stress replay drives
+    e.g. a :class:`~repro.search.shardpool.ShardProcessPool` over the
+    same saved index, re-proving the invariants across process
+    boundaries.  The two factories must describe the same corpus at the
+    same epoch; a read-only concurrent engine (the pool) additionally
+    requires a query-only trace (``refresh_fraction`` may stay — the
+    pool's ``refresh`` is a no-op — but mutations would raise).
 
     With ``frontend_config`` (a :class:`repro.serve.FrontendConfig`), the
     *concurrent* replay routes every query through a
@@ -110,7 +121,7 @@ def check_replay_parity(
     if serial_rankings is None:
         serial_rankings = quiesced_rankings(serial_engine, trace)
 
-    concurrent_engine = build_engine()
+    concurrent_engine = (concurrent_build_engine or build_engine)()
     try:
         if frontend_config is not None:
             # Deferred for the same reason as rankings_match above:

@@ -19,6 +19,9 @@ dot products (Table VI).
 * :mod:`repro.search.sharding` — the sharded serving architecture: router,
   per-shard concept-space slices, parallel fan-out with heap-merged top-k,
   and the sharded on-disk layout.
+* :mod:`repro.search.shardpool` — the process-per-shard serving pool:
+  one worker process per shard (memory-mapped arrays, pipe IPC, typed
+  failure handling), true parallel fan-out that escapes the GIL.
 * :mod:`repro.search.cache` — the LRU query result cache layered in front
   of scoring.
 * :mod:`repro.search.concurrency` — the reader/writer lock behind the
@@ -46,6 +49,14 @@ from repro.search.sharding import (
     ShardedSearchEngine,
     merge_topk,
 )
+from repro.search.shardpool import (
+    PoolResult,
+    ShardFailure,
+    ShardPoolConfig,
+    ShardPoolDegraded,
+    ShardPoolError,
+    ShardProcessPool,
+)
 
 __all__ = [
     "ConceptVectorSpace",
@@ -64,4 +75,10 @@ __all__ = [
     "ShardRouter",
     "ShardedSearchEngine",
     "merge_topk",
+    "PoolResult",
+    "ShardFailure",
+    "ShardPoolConfig",
+    "ShardPoolDegraded",
+    "ShardPoolError",
+    "ShardProcessPool",
 ]

@@ -458,7 +458,9 @@ class SearchEngine(FreshReadMixin):
     # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
-    def save(self, directory: Union[str, Path]) -> Path:
+    def save(
+        self, directory: Union[str, Path], mmap_ready: bool = False
+    ) -> Path:
         """Persist the engine (compiled backend + concept model) to a dir.
 
         Only the matrix backend is serialised — the dict-loop space is a
@@ -466,6 +468,10 @@ class SearchEngine(FreshReadMixin):
         the engine: their columns live in the persisted count arrays, so
         dropping the tag → id map would let a restored serving process
         reallocate a live column id to a different tag.
+
+        ``mmap_ready=True`` writes the backend arrays in the raw ``.npy``
+        layout that loads can memory-map (see
+        :meth:`MatrixConceptSpace.save`).
         """
         if self.matrix_space is None:
             raise ConfigurationError(
@@ -474,7 +480,7 @@ class SearchEngine(FreshReadMixin):
         path = Path(directory)
         path.mkdir(parents=True, exist_ok=True)
         with self._read_fresh():
-            self.matrix_space.save(path)
+            self.matrix_space.save(path, mmap_ready=mmap_ready)
             payload = self._save_payload()
         (path / ENGINE_FILENAME).write_text(json.dumps(payload), encoding="utf-8")
         return path

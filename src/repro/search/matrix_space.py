@@ -10,8 +10,11 @@ which is what makes the paper's "online querying is just cheap dot products"
 claim (Table VI) hold at scale.
 
 The compiled space is also the unit of persistence: :meth:`save` writes the
-arrays to ``.npz`` and the vocabulary/metadata to JSON so that offline
-indexing and online serving can run in separate processes.
+arrays (a compressed ``.npz`` archive, or raw per-array ``.npy`` files when
+``mmap_ready=True`` so :meth:`load` can memory-map them) and the
+vocabulary/metadata to JSON, so that offline indexing and online serving —
+including the process-per-shard pool's one-worker-per-shard loads — can
+run in separate processes.
 
 Scores, rankings and tie-breaking (descending score, then ascending resource
 id) are bit-for-bit compatible with the reference dict-loop implementation in
@@ -36,6 +39,47 @@ from repro.utils.errors import ConfigurationError, NotFittedError
 #: File names used inside a save directory.
 ARRAYS_FILENAME = "matrix_space.npz"
 METADATA_FILENAME = "matrix_space.json"
+
+#: Array-storage layouts a save directory may use.  ``npz`` is one
+#: compressed archive (smallest on disk, must be decompressed into RAM on
+#: load); ``npy`` is one raw ``.npy`` file per array, which
+#: :meth:`MatrixConceptSpace.load` can memory-map (``mmap=True``) so a
+#: serving process opens a multi-GB shard in milliseconds and only pages
+#: in the rows it actually scores.
+STORAGE_NPZ = "npz"
+STORAGE_NPY = "npy"
+
+#: Names of the arrays persisted by :meth:`MatrixConceptSpace.save`
+#: (``counts_*`` only when the space is mutable).
+_ARRAY_NAMES = (
+    "indptr",
+    "indices",
+    "data",
+    "doc_norms",
+    "idf",
+    "counts_indptr",
+    "counts_indices",
+    "counts_data",
+)
+
+
+def _npy_path(directory: Path, name: str) -> Path:
+    """Per-array file of the ``npy`` storage layout."""
+    return directory / f"matrix_space.{name}.npy"
+
+
+def saved_storage(directory: Union[str, Path]) -> str:
+    """The array-storage layout of a save directory (``npz`` or ``npy``).
+
+    Lets a coordinator decide *before* spawning workers whether a shard
+    layout supports memory-mapping (pre-``npy`` saves do not).
+    """
+    path = Path(directory)
+    metadata_path = path / METADATA_FILENAME
+    if not metadata_path.exists():
+        raise NotFittedError(f"no saved matrix space under {path}")
+    metadata = json.loads(metadata_path.read_text(encoding="utf-8"))
+    return str(metadata.get("storage", STORAGE_NPZ))
 
 #: Bumped whenever the on-disk layout changes incompatibly.  Version 2 added
 #: the raw concept-count arrays that make loaded spaces mutable (fold-in).
@@ -866,8 +910,21 @@ class MatrixConceptSpace:
     # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
-    def save(self, directory: Union[str, Path]) -> Path:
-        """Write the arrays (``.npz``) and metadata (JSON) to ``directory``."""
+    def save(
+        self, directory: Union[str, Path], mmap_ready: bool = False
+    ) -> Path:
+        """Write the arrays and metadata (JSON) to ``directory``.
+
+        With the default ``mmap_ready=False`` the arrays land in one
+        compressed ``.npz`` archive (smallest on disk).  With
+        ``mmap_ready=True`` each array is written as a raw ``.npy`` file
+        instead, so :meth:`load` can memory-map them (``mmap=True``):
+        opening the space is then near-instant regardless of corpus size
+        and the OS pages rows in on demand — the layout the
+        process-per-shard serving pool
+        (:mod:`repro.search.shardpool`) expects.  A re-save removes the
+        other layout's files so a directory never carries both.
+        """
         self.refresh()
         path = Path(directory)
         path.mkdir(parents=True, exist_ok=True)
@@ -882,9 +939,22 @@ class MatrixConceptSpace:
             arrays["counts_indptr"] = self._counts.indptr.astype(np.int64)
             arrays["counts_indices"] = self._counts.indices.astype(np.int64)
             arrays["counts_data"] = self._counts.data.astype(np.float64)
-        np.savez_compressed(path / ARRAYS_FILENAME, **arrays)
+        if mmap_ready:
+            for name, array in arrays.items():
+                np.save(_npy_path(path, name), array)
+            # A previous npz-layout save (or a formerly-mutable space's
+            # counts files) must not shadow the fresh arrays.
+            (path / ARRAYS_FILENAME).unlink(missing_ok=True)
+            for name in _ARRAY_NAMES:
+                if name not in arrays:
+                    _npy_path(path, name).unlink(missing_ok=True)
+        else:
+            np.savez_compressed(path / ARRAYS_FILENAME, **arrays)
+            for name in _ARRAY_NAMES:
+                _npy_path(path, name).unlink(missing_ok=True)
         metadata = {
             "format_version": FORMAT_VERSION,
+            "storage": STORAGE_NPY if mmap_ready else STORAGE_NPZ,
             "doc_ids": list(self._doc_ids),
             "terms": _encode_terms(self._terms),
             "smooth_idf": self._smooth_idf,
@@ -899,12 +969,23 @@ class MatrixConceptSpace:
         return path
 
     @classmethod
-    def load(cls, directory: Union[str, Path]) -> "MatrixConceptSpace":
-        """Reconstruct a space from a directory written by :meth:`save`."""
+    def load(
+        cls, directory: Union[str, Path], mmap: bool = False
+    ) -> "MatrixConceptSpace":
+        """Reconstruct a space from a directory written by :meth:`save`.
+
+        ``mmap=True`` memory-maps the arrays read-only instead of loading
+        them into RAM — zero-copy open, pages faulted in as queries touch
+        rows.  It requires the ``mmap_ready`` (``npy``) save layout;
+        asking for it on a compressed ``npz`` save raises (decompressing
+        silently would defeat the cold-start/RSS point of asking).
+        Memory-mapped spaces are for read-only serving: the arrays are
+        opened immutably, so route mutations to a coordinator that owns a
+        writable copy.
+        """
         path = Path(directory)
         metadata_path = path / METADATA_FILENAME
-        arrays_path = path / ARRAYS_FILENAME
-        if not metadata_path.exists() or not arrays_path.exists():
+        if not metadata_path.exists():
             raise NotFittedError(f"no saved matrix space under {path}")
         metadata = json.loads(metadata_path.read_text(encoding="utf-8"))
         version = metadata.get("format_version")
@@ -912,24 +993,56 @@ class MatrixConceptSpace:
             raise ConfigurationError(
                 f"unsupported matrix-space format version {version!r}"
             )
+        storage = metadata.get("storage", STORAGE_NPZ)
+        if mmap and storage != STORAGE_NPY:
+            raise ConfigurationError(
+                f"cannot memory-map a {storage!r}-layout save; re-save the "
+                "space with mmap_ready=True to get the raw .npy layout"
+            )
         shape = tuple(metadata["shape"])
         counts = None
-        with np.load(arrays_path) as arrays:
+        if storage == STORAGE_NPY:
+            mode = "r" if mmap else None
+
+            def read(name: str) -> np.ndarray:
+                return np.load(_npy_path(path, name), mmap_mode=mode)
+
+            if not _npy_path(path, "data").exists():
+                raise NotFittedError(f"no saved matrix space under {path}")
             matrix = sp.csr_matrix(
-                (arrays["data"], arrays["indices"], arrays["indptr"]),
-                shape=shape,
+                (read("data"), read("indices"), read("indptr")), shape=shape
             )
-            doc_norms = arrays["doc_norms"]
-            idf = arrays["idf"]
-            if "counts_data" in arrays:
+            doc_norms = read("doc_norms")
+            idf = read("idf")
+            if _npy_path(path, "counts_data").exists():
                 counts = sp.csr_matrix(
                     (
-                        arrays["counts_data"],
-                        arrays["counts_indices"],
-                        arrays["counts_indptr"],
+                        read("counts_data"),
+                        read("counts_indices"),
+                        read("counts_indptr"),
                     ),
                     shape=shape,
                 )
+        else:
+            arrays_path = path / ARRAYS_FILENAME
+            if not arrays_path.exists():
+                raise NotFittedError(f"no saved matrix space under {path}")
+            with np.load(arrays_path) as arrays:
+                matrix = sp.csr_matrix(
+                    (arrays["data"], arrays["indices"], arrays["indptr"]),
+                    shape=shape,
+                )
+                doc_norms = arrays["doc_norms"]
+                idf = arrays["idf"]
+                if "counts_data" in arrays:
+                    counts = sp.csr_matrix(
+                        (
+                            arrays["counts_data"],
+                            arrays["counts_indices"],
+                            arrays["counts_indptr"],
+                        ),
+                        shape=shape,
+                    )
         return cls(
             doc_ids=metadata["doc_ids"],
             terms=_decode_terms(metadata["terms"]),

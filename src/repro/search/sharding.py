@@ -36,9 +36,21 @@ mid-refresh, and ``snapshot_rank_batch`` returns results tagged with the
 exact epoch they were computed against.
 
 Persistence uses a sharded on-disk layout: one directory per shard (the
-usual ``.npz`` + JSON pair) plus a ``shard_manifest.json`` carrying the
+usual arrays + JSON pair) plus a ``shard_manifest.json`` carrying the
 router, the concept model and the serving metadata, so an N-process
 deployment can each :meth:`ShardedSearchEngine.load_shard` one shard.
+``save(..., mmap_ready=True)`` writes shards in the raw ``.npy`` layout
+that :meth:`load_shard`'s ``mmap=True`` memory-maps — the zero-copy open
+the process-per-shard pool (:mod:`repro.search.shardpool`) uses to start
+workers near-instantly.
+
+Note the thread-pool fan-out here shares one Python interpreter: scipy's
+sparse matmul holds the GIL for most of a ``rank_batch``, so on CPython
+the threads mostly serialize and multi-shard serving can come out
+*slower* than the monolith (the recorded 0.43x four-shard "speedup").
+For real parallel speedup, put each shard in its own process with
+:class:`~repro.search.shardpool.ShardProcessPool`; this in-process
+engine remains the mutation coordinator and the parity reference.
 """
 
 from __future__ import annotations
@@ -717,15 +729,21 @@ class ShardedSearchEngine(FreshReadMixin):
     # ------------------------------------------------------------------ #
     # Persistence (per-shard .npz + one manifest)
     # ------------------------------------------------------------------ #
-    def save(self, directory: Union[str, Path]) -> Path:
+    def save(
+        self, directory: Union[str, Path], mmap_ready: bool = False
+    ) -> Path:
         """Persist the sharded layout: per-shard dirs + a manifest.
 
-        Each shard saves its usual ``.npz`` + JSON pair under
-        ``shard-NNNN/``; ``shard_manifest.json`` records the router, the
-        concept model (dynamic concepts included, as in the monolithic
-        save) and the serving metadata.  A deployment can then restore the
-        whole engine (:meth:`load`) or one shard per process
-        (:meth:`load_shard`).
+        Each shard saves its arrays + JSON pair under ``shard-NNNN/``;
+        ``shard_manifest.json`` records the router, the concept model
+        (dynamic concepts included, as in the monolithic save) and the
+        serving metadata.  A deployment can then restore the whole engine
+        (:meth:`load`) or one shard per process (:meth:`load_shard`).
+
+        ``mmap_ready=True`` writes each shard in the raw ``.npy`` layout
+        (see :meth:`MatrixConceptSpace.save`) so ``load_shard``'s
+        ``mmap=True`` — and hence the process pool's near-instant worker
+        start — is available; the default keeps the compact ``.npz``.
         """
         path = Path(directory)
         path.mkdir(parents=True, exist_ok=True)
@@ -733,7 +751,7 @@ class ShardedSearchEngine(FreshReadMixin):
             shard_entries = []
             for index, shard in enumerate(self.shards):
                 shard_dir = f"shard-{index:04d}"
-                shard.save(path / shard_dir)
+                shard.save(path / shard_dir, mmap_ready=mmap_ready)
                 shard_entries.append(
                     {
                         "directory": shard_dir,
@@ -841,17 +859,21 @@ class ShardedSearchEngine(FreshReadMixin):
 
     @classmethod
     def load_shard(
-        cls, directory: Union[str, Path], shard_id: int
+        cls, directory: Union[str, Path], shard_id: int, mmap: bool = False
     ) -> SearchEngine:
         """Load one shard as a standalone read-only serving engine.
 
         The returned :class:`SearchEngine` ranks only the shard's
         resources, but with the corpus-wide statistics persisted in the
         shard's arrays — its scores equal the full engine's scores for
-        those resources, so an N-process deployment can serve one shard per
-        process behind any top-k merging frontend.  Mutations are rejected
-        (statistics are corpus-wide); route them through a coordinator that
-        holds every shard.
+        those resources, so an N-process deployment (e.g.
+        :class:`~repro.search.shardpool.ShardProcessPool`, one worker
+        process per shard) can serve one shard per process behind any
+        top-k merging frontend.  ``mmap=True`` memory-maps the shard's
+        arrays instead of reading them into RAM — requires a save made
+        with ``mmap_ready=True``.  Mutations are rejected (statistics are
+        corpus-wide); route them through a coordinator that holds every
+        shard.
         """
         path = Path(directory)
         payload = cls._read_manifest(path)
@@ -866,7 +888,7 @@ class ShardedSearchEngine(FreshReadMixin):
             vector_space=None,
             name=f"{payload['name']}-shard{shard_id}",
             matrix_space=MatrixConceptSpace.load(
-                path / shard_entries[shard_id]["directory"]
+                path / shard_entries[shard_id]["directory"], mmap=mmap
             ),
             refresh_policy=RefreshPolicy(
                 max_delta_fraction=float(

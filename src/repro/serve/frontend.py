@@ -24,7 +24,12 @@ client submits one tag query and waits for its own answer.
 The front-end works against anything exposing the epoch-consistent read
 surface (``snapshot_rank_batch`` + ``epoch``): the monolithic
 :class:`~repro.search.engine.SearchEngine`, the sharded
-:class:`~repro.search.sharding.ShardedSearchEngine`, or a test stub.
+:class:`~repro.search.sharding.ShardedSearchEngine`, the multiprocess
+:class:`~repro.search.shardpool.ShardProcessPool`, or a test stub.
+Engines that report operational health (the process pool's
+:meth:`~repro.search.shardpool.ShardProcessPool.health`) have that
+snapshot folded into :meth:`BatchingFrontend.stats` under
+``engine_health``, so one scrape covers the whole serving column.
 
 Result caching
 --------------
@@ -227,7 +232,13 @@ class BatchingFrontend:
         return self.submit(query_tags, top_k=top_k).result().results
 
     def stats(self) -> Dict[str, object]:
-        """One dict: metrics snapshot, admission state, cache stats."""
+        """One dict: metrics snapshot, admission state, cache stats.
+
+        When the engine reports operational health (the process pool's
+        ``health()``), that snapshot is included under ``engine_health``
+        — worker states, restarts and degraded-read counts surface
+        through the same endpoint as the front-end's own metrics.
+        """
         payload = self.metrics.snapshot()
         payload["admission"] = {
             "pending": self.admission.pending,
@@ -239,6 +250,9 @@ class BatchingFrontend:
             payload["cache_owner"] = (
                 "engine" if self._cache_is_engines else "frontend"
             )
+        health = getattr(self.engine, "health", None)
+        if callable(health):
+            payload["engine_health"] = health()
         return payload
 
     def close(self) -> None:

@@ -1,0 +1,116 @@
+"""Documentation presence and link checker (CI gate).
+
+Two failure modes make docs rot silently: a book that exists but
+nothing points at (unreachable, so effectively deleted), and a link
+whose target moved (dead, so the reader bounces).  This checker makes
+both loud:
+
+* **presence** — every ``docs/*.md`` file must be referenced by a
+  relative link from ``README.md`` itself, so the README remains the
+  single entry point to the whole book set;
+* **liveness** — every relative (intra-repo) markdown link in
+  ``README.md`` and ``docs/*.md`` must resolve to an existing file or
+  directory.  External ``http(s)``/``mailto`` links and pure
+  ``#fragment`` anchors are out of scope (CI must not flake on the
+  network).
+
+Run it from the repo root (CI does)::
+
+    python tools/check_docs.py
+
+or point it elsewhere with ``--root``.  Exit code 0 means clean; 1
+means problems, each printed one per line as ``<file>: <problem>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import List, Set
+
+#: Inline markdown links/images: ``[text](target)`` / ``![alt](target)``.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Schemes that point outside the repo and are deliberately not checked.
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def extract_links(markdown: str) -> List[str]:
+    """Return every inline link target in the document, in order."""
+    return _LINK_RE.findall(markdown)
+
+
+def is_relative_link(target: str) -> bool:
+    """True for intra-repo targets (not external, not a bare anchor)."""
+    if target.startswith(_EXTERNAL_PREFIXES):
+        return False
+    if target.startswith("#"):
+        return False
+    return True
+
+
+def resolve_link(source: Path, target: str) -> Path:
+    """Resolve ``target`` (less any ``#fragment``) against its source file."""
+    path = target.split("#", 1)[0]
+    return (source.parent / path).resolve()
+
+
+def check_docs(root: Path) -> List[str]:
+    """Check the doc set under ``root``; return problems (empty == clean)."""
+    root = root.resolve()
+    readme = root / "README.md"
+    problems: List[str] = []
+    if not readme.is_file():
+        return [f"{readme}: README.md is missing"]
+
+    docs_dir = root / "docs"
+    doc_files = sorted(docs_dir.glob("*.md")) if docs_dir.is_dir() else []
+    sources = [readme, *doc_files]
+
+    # Liveness: every relative link in every source must resolve.
+    readme_targets: Set[Path] = set()
+    for source in sources:
+        rel_source = source.relative_to(root)
+        for target in extract_links(source.read_text(encoding="utf-8")):
+            if not is_relative_link(target):
+                continue
+            resolved = resolve_link(source, target)
+            if not resolved.exists():
+                problems.append(f"{rel_source}: dead link -> {target}")
+            elif source == readme:
+                readme_targets.add(resolved)
+
+    # Presence: every docs/*.md must be linked from the README itself —
+    # the README is the entry point, so a doc only reachable through
+    # another doc (or through nothing) is effectively unpublished.
+    for doc in doc_files:
+        if doc.resolve() not in readme_targets:
+            problems.append(
+                f"{doc.relative_to(root)}: not referenced from "
+                "README.md — link it or delete it"
+            )
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: this file's grandparent)",
+    )
+    args = parser.parse_args(argv)
+    problems = check_docs(args.root)
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"FAIL: {len(problems)} documentation problem(s)")
+        return 1
+    print("OK: docs present, linked from README, no dead intra-repo links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
