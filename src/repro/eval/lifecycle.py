@@ -1,0 +1,177 @@
+"""Refit-cadence sweep: how often to refit vs ranking drift vs cost.
+
+The lifecycle subsystem (:mod:`repro.search.lifecycle`) makes full Tucker
+refits free of serving pauses — but not free of CPU.  The operator knob
+is *cadence*: how many mutation batches to absorb through cheap fold-in
+before running a background refit.  :func:`lifecycle_sweep` measures the
+trade-off on one deterministic mutation stream:
+
+* **drift** — how far the never-refit engine's rankings (pure fold-in
+  through the aging frozen model) wander from each refitting run's
+  rankings, as mean top-k Jaccard distance over the trace's evaluation
+  probes.  High drift at cadence 0 relative to the refitted runs is the
+  cost of *not* refitting: the frozen model no longer describes the
+  corpus.
+* **cost** — refit count, total refit wall seconds and swap milliseconds
+  per run.
+
+Every run is additionally parity-checked: after the final mutation its
+engine must match a scratch rebuild of the same corpus under that run's
+own (post-swap) concept model at ``tol`` — a sweep row is only reported
+for a run whose fold-in/replay machinery is provably exact.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.load.invariants import PARITY_TOL
+from repro.load.workload import MUTATE, WorkloadTrace
+from repro.utils.errors import ConfigurationError
+
+
+def _topk_jaccard_distance(first, second) -> float:
+    """1 - Jaccard overlap of two ranked lists' resource sets."""
+    ours = {result.resource for result in first}
+    theirs = {result.resource for result in second}
+    if not ours and not theirs:
+        return 0.0
+    union = ours | theirs
+    return 1.0 - len(ours & theirs) / len(union)
+
+
+def lifecycle_sweep(
+    folksonomy,
+    pipeline_kwargs: Dict[str, object],
+    trace: WorkloadTrace,
+    cadences: Sequence[int] = (0, 8, 4, 2),
+    top_k: Optional[int] = 10,
+    tol: float = PARITY_TOL,
+    use_process: bool = False,
+) -> Tuple[List[Dict[str, object]], List[Dict[str, object]]]:
+    """Replay ``trace``'s mutations at each refit cadence; rows + details.
+
+    ``cadences`` are mutation-batch counts between refits; ``0`` means
+    never refit (pure fold-in, the drift baseline) and must lead the
+    sequence.  Each cadence gets a freshly fitted engine
+    (``CubeLSIPipeline(**pipeline_kwargs)``), its own snapshot store in a
+    temp directory, and the exact same mutation stream — the trace's
+    ``MUTATE`` operations in order.  Refits run through a real
+    :class:`~repro.search.lifecycle.RefitCoordinator` (in-thread by
+    default so the sweep is cheap; ``use_process=True`` exercises the
+    production path).  Raises :class:`ConfigurationError` when any run's
+    final engine diverges from its scratch-rebuild oracle beyond ``tol``.
+
+    Returns ``(rows, details)``: rows are ready for
+    :func:`repro.eval.reporting.format_table`; details carry the raw
+    per-run numbers (refit results, drift values, final generation).
+    """
+    # Deferred: repro.eval must stay importable without triggering the
+    # search/serve import chain at package-import time.
+    from repro.core.pipeline import CubeLSIPipeline
+    from repro.core.snapshots import IndexSnapshotStore
+    from repro.eval.sharding import rankings_match
+    from repro.search.engine import (
+        SearchEngine,
+        concept_model_from_json,
+        concept_model_to_json,
+    )
+    from repro.search.lifecycle import EngineHandle, RefitCoordinator
+
+    cadences = list(cadences)
+    if not cadences:
+        raise ConfigurationError("lifecycle_sweep needs >= 1 cadence")
+    if cadences[0] != 0:
+        raise ConfigurationError(
+            "the first cadence must be 0 (the never-refit drift baseline), "
+            f"got {tuple(cadences)}"
+        )
+    if any(cadence < 0 for cadence in cadences):
+        raise ConfigurationError(f"cadences must be >= 0, got {tuple(cadences)}")
+    mutations = [op for op in trace.operations if op.kind == MUTATE]
+    if not mutations:
+        raise ConfigurationError(
+            "the trace carries no mutation operations; there is nothing to "
+            "sweep a refit cadence over"
+        )
+    probes = [list(query) for query in trace.eval_queries]
+
+    rows: List[Dict[str, object]] = []
+    details: List[Dict[str, object]] = []
+    baseline_rankings = None
+    for cadence in cadences:
+        fitted = CubeLSIPipeline(**pipeline_kwargs).fit(folksonomy)
+        handle = EngineHandle(fitted.engine, folksonomy=fitted.folksonomy)
+        refit_results = []
+        with tempfile.TemporaryDirectory() as directory:
+            coordinator = RefitCoordinator(
+                handle,
+                IndexSnapshotStore(directory),
+                pipeline_kwargs=pipeline_kwargs,
+                use_process=use_process,
+            )
+            for position, op in enumerate(mutations, start=1):
+                handle.apply_mutations(
+                    added=op.added, updated=op.updated, removed=op.removed
+                )
+                if cadence and position % cadence == 0:
+                    refit_results.append(coordinator.refit())
+            handle.refresh()
+            _, rankings = handle.snapshot_rank_batch(probes, top_k=top_k)
+
+            # Parity oracle: fold-in + journal replay must equal a scratch
+            # rebuild of the final corpus under this run's final model.
+            scratch = SearchEngine.build(
+                handle.folksonomy,
+                concept_model_from_json(
+                    concept_model_to_json(handle.concept_model)
+                ),
+            )
+            scratch.refresh()
+            _, scratch_rankings = scratch.snapshot_rank_batch(
+                probes, top_k=top_k
+            )
+            truncated = top_k is not None
+            for probe, (got, want) in enumerate(
+                zip(rankings, scratch_rankings)
+            ):
+                if not rankings_match(got, want, tol=tol, truncated=truncated):
+                    raise ConfigurationError(
+                        f"cadence {cadence}: probe {probe} diverged from the "
+                        f"scratch rebuild beyond {tol:g}"
+                    )
+
+        if baseline_rankings is None:
+            baseline_rankings = rankings
+            drifts = [0.0 for _ in rankings]
+        else:
+            drifts = [
+                _topk_jaccard_distance(results, baseline)
+                for results, baseline in zip(rankings, baseline_rankings)
+            ]
+        mean_drift = sum(drifts) / len(drifts) if drifts else 0.0
+        refit_wall = sum(result.refit_wall_seconds for result in refit_results)
+        swap_ms = sum(result.swap_seconds for result in refit_results) * 1e3
+        rows.append(
+            {
+                "Cadence": cadence if cadence else "never",
+                "Refits": len(refit_results),
+                "Generation": handle.generation,
+                "Final epoch": handle.epoch,
+                "Drift vs fold-in": f"{mean_drift:.3f}",
+                "Refit s": round(refit_wall, 3),
+                "Swap ms": round(swap_ms, 2),
+            }
+        )
+        details.append(
+            {
+                "cadence": cadence,
+                "refits": refit_results,
+                "drifts": drifts,
+                "mean_drift": mean_drift,
+                "generation": handle.generation,
+                "final_epoch": handle.epoch,
+            }
+        )
+    return rows, details

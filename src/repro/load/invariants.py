@@ -20,7 +20,8 @@ both replays, verifies all four properties and returns a
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from repro.load.runner import WorkloadReport, WorkloadRunner, quiesced_rankings
@@ -33,12 +34,22 @@ PARITY_TOL = 1e-9
 
 @dataclass
 class ReplayParityReport:
-    """Verdict of one serial-vs-concurrent replay comparison."""
+    """Verdict of one serial-vs-concurrent replay comparison.
+
+    In swap-during-replay mode ``generations_advanced`` counts the hot
+    swaps that landed mid-replay and ``scratch_mismatched_probes`` lists
+    probes where the post-swap engine diverged from a scratch rebuild of
+    the final corpus under the post-swap concept model (the swap-mode
+    parity oracle — the serial golden ranks under the *old* model and
+    cannot be compared across a refit).
+    """
 
     serial: WorkloadReport
     concurrent: WorkloadReport
     violations: List[str]
     mismatched_probes: List[int]
+    generations_advanced: int = 0
+    scratch_mismatched_probes: List[int] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -49,6 +60,10 @@ class ReplayParityReport:
         lines = [
             "replay parity: " + ("OK" if self.ok else "VIOLATED"),
         ]
+        if self.generations_advanced:
+            lines.append(
+                f"  hot swaps landed mid-replay: {self.generations_advanced}"
+            )
         lines.extend(f"  violation: {violation}" for violation in self.violations)
         lines.append("-- serial golden --")
         lines.append(self.serial.summary())
@@ -67,6 +82,7 @@ def check_replay_parity(
     serial_rankings: Optional[Tuple[int, List[list]]] = None,
     frontend_config: Optional[object] = None,
     concurrent_build_engine: Optional[Callable[[], object]] = None,
+    swap_during_replay: Optional[Callable[[], object]] = None,
 ) -> ReplayParityReport:
     """Replay ``trace`` serially and concurrently; verify the invariants.
 
@@ -99,6 +115,23 @@ def check_replay_parity(
     parity, epoch monotonicity) are re-proven *through the batching
     path*.  The front-end is drained and closed before the quiesced
     probes are ranked.
+
+    ``swap_during_replay`` turns on **swap mode**: the callable (e.g. a
+    bound :meth:`~repro.search.lifecycle.RefitCoordinator.refit`) runs on
+    a side thread *while* the concurrent replay hammers the engine —
+    which must then be a folksonomy-tracking
+    :class:`~repro.search.lifecycle.EngineHandle` (pass it via
+    ``concurrent_build_engine``).  The invariants adapt to the hot swap:
+    zero errors, resource convergence and per-reader epoch monotonicity
+    hold unchanged; the final-epoch check becomes ``serial + generations
+    advanced`` (each swap stamps its engine ``old epoch + 1``); and probe
+    parity is judged against a **scratch rebuild** of the handle's final
+    folksonomy under the *post-swap* concept model instead of the serial
+    golden (the refit replaced the model, so the golden's rankings are
+    incomparable — but fold-in through the new model must still equal a
+    scratch build at ``tol``, the PR 2 invariant carried across the
+    swap).  A swap callable that raises, or that completes without
+    advancing the handle's generation, is itself a violation.
     """
     # Deferred: repro.eval.workload wraps this checker, so importing the
     # comparator at module scope would make repro.load and repro.eval
@@ -123,6 +156,22 @@ def check_replay_parity(
 
     concurrent_engine = (concurrent_build_engine or build_engine)()
     try:
+        swap_outcome: dict = {}
+        swap_thread: Optional[threading.Thread] = None
+        generation_before = getattr(concurrent_engine, "generation", 0) or 0
+        if swap_during_replay is not None:
+
+            def _run_swap() -> None:
+                try:
+                    swap_outcome["value"] = swap_during_replay()
+                except BaseException as error:  # noqa: BLE001 - reported
+                    swap_outcome["error"] = error
+
+            swap_thread = threading.Thread(
+                target=_run_swap, name="swap-during-replay", daemon=True
+            )
+            swap_thread.start()
+
         if frontend_config is not None:
             # Deferred for the same reason as rankings_match above:
             # repro.serve reuses repro.load's LatencyHistogram.
@@ -134,13 +183,37 @@ def check_replay_parity(
                 concurrent_report = WorkloadRunner(
                     concurrent_engine, trace
                 ).run_concurrent(num_workers, frontend=frontend)
+                if swap_thread is not None:
+                    # Joined with the front-end still open: the refit may
+                    # need a last micro-batch window to drain, and its
+                    # swap must land on a *serving* front-end to prove
+                    # zero-pause.
+                    swap_thread.join()
         else:
             concurrent_report = WorkloadRunner(
                 concurrent_engine, trace
             ).run_concurrent(num_workers)
+            if swap_thread is not None:
+                swap_thread.join()
 
         violations: List[str] = []
         mismatched: List[int] = []
+        scratch_mismatched: List[int] = []
+        generations_advanced = 0
+        if swap_during_replay is not None:
+            if "error" in swap_outcome:
+                violations.append(
+                    f"swap-during-replay raised: {swap_outcome['error']!r}"
+                )
+            generations_advanced = (
+                (getattr(concurrent_engine, "generation", 0) or 0)
+                - generation_before
+            )
+            if generations_advanced < 1 and "error" not in swap_outcome:
+                violations.append(
+                    "swap-during-replay completed without advancing the "
+                    "engine generation"
+                )
         for label, report in (
             ("serial", serial_report),
             ("concurrent", concurrent_report),
@@ -150,10 +223,23 @@ def check_replay_parity(
                     f"{label} replay raised {len(report.errors)} error(s); "
                     f"first: {report.errors[0].splitlines()[-1]}"
                 )
-        if concurrent_report.final_epoch != serial_report.final_epoch:
+        # Each hot swap stamps the incoming engine ``old epoch + 1``, so in
+        # swap mode the concurrent side legitimately runs ahead of the
+        # serial golden by exactly the number of swaps that landed.  The
+        # report's final epoch was captured when the replay drained — a
+        # swap may land *after* that (it is only joined later), so read
+        # the live epoch post-join.
+        concurrent_final_epoch = (
+            concurrent_engine.epoch
+            if swap_during_replay is not None
+            else concurrent_report.final_epoch
+        )
+        expected_epoch = serial_report.final_epoch + generations_advanced
+        if concurrent_final_epoch != expected_epoch:
             violations.append(
                 f"final epoch diverged: serial {serial_report.final_epoch} "
-                f"vs concurrent {concurrent_report.final_epoch}"
+                f"+ {generations_advanced} swap(s) expects {expected_epoch} "
+                f"but concurrent finished at {concurrent_final_epoch}"
             )
         if concurrent_report.final_resources != serial_report.final_resources:
             violations.append(
@@ -169,30 +255,81 @@ def check_replay_parity(
                 f"{then} ({len(regressions)} regression(s) total)"
             )
 
-        want_epoch, want = serial_rankings
-        got_epoch, got = quiesced_rankings(concurrent_engine, trace)
-        if want_epoch != got_epoch:
-            violations.append(
-                f"quiesced epochs diverged: serial {want_epoch} vs "
-                f"concurrent {got_epoch}"
-            )
         truncated = trace.config.top_k is not None
-        for probe, (got_results, want_results) in enumerate(zip(got, want)):
-            if not rankings_match(
-                got_results, want_results, tol=tol, truncated=truncated
+        got_epoch, got = quiesced_rankings(concurrent_engine, trace)
+        if swap_during_replay is None:
+            want_epoch, want = serial_rankings
+            if want_epoch != got_epoch:
+                violations.append(
+                    f"quiesced epochs diverged: serial {want_epoch} vs "
+                    f"concurrent {got_epoch}"
+                )
+            for probe, (got_results, want_results) in enumerate(
+                zip(got, want)
             ):
-                mismatched.append(probe)
-        if mismatched:
-            violations.append(
-                f"{len(mismatched)} of {len(want)} evaluation probes "
-                f"diverged beyond {tol:g} (first: probe {mismatched[0]}, "
-                f"query {trace.eval_queries[mismatched[0]]!r})"
+                if not rankings_match(
+                    got_results, want_results, tol=tol, truncated=truncated
+                ):
+                    mismatched.append(probe)
+            if mismatched:
+                violations.append(
+                    f"{len(mismatched)} of {len(want)} evaluation probes "
+                    f"diverged beyond {tol:g} (first: probe {mismatched[0]}, "
+                    f"query {trace.eval_queries[mismatched[0]]!r})"
+                )
+        else:
+            # Swap mode: the serial golden ranks under the pre-refit
+            # concept model and is incomparable.  The oracle instead is a
+            # scratch rebuild of the final corpus under the *post-swap*
+            # model (deep-copied through its JSON codec so the scratch
+            # build cannot share — or allocate into — the live model):
+            # journal-replayed fold-in must equal it at ``tol``.
+            from repro.search.engine import (
+                SearchEngine,
+                concept_model_from_json,
+                concept_model_to_json,
             )
+
+            final_folksonomy = getattr(concurrent_engine, "folksonomy", None)
+            final_model = getattr(concurrent_engine, "concept_model", None)
+            if final_folksonomy is None or final_model is None:
+                violations.append(
+                    "swap mode needs a folksonomy-tracking EngineHandle on "
+                    "the concurrent side; got "
+                    f"{type(concurrent_engine).__name__} without one"
+                )
+            else:
+                scratch = SearchEngine.build(
+                    final_folksonomy,
+                    concept_model_from_json(concept_model_to_json(final_model)),
+                )
+                scratch.refresh()
+                _, want_scratch = scratch.snapshot_rank_batch(
+                    [list(query) for query in trace.eval_queries],
+                    top_k=trace.config.top_k,
+                )
+                for probe, (got_results, want_results) in enumerate(
+                    zip(got, want_scratch)
+                ):
+                    if not rankings_match(
+                        got_results, want_results, tol=tol, truncated=truncated
+                    ):
+                        scratch_mismatched.append(probe)
+                if scratch_mismatched:
+                    violations.append(
+                        f"{len(scratch_mismatched)} of {len(want_scratch)} "
+                        "probes diverged from the scratch rebuild beyond "
+                        f"{tol:g} after the swap (first: probe "
+                        f"{scratch_mismatched[0]}, query "
+                        f"{trace.eval_queries[scratch_mismatched[0]]!r})"
+                    )
         return ReplayParityReport(
             serial=serial_report,
             concurrent=concurrent_report,
             violations=violations,
             mismatched_probes=mismatched,
+            generations_advanced=generations_advanced,
+            scratch_mismatched_probes=scratch_mismatched,
         )
     finally:
         closer = getattr(concurrent_engine, "close", None)

@@ -26,6 +26,11 @@ dot products (Table VI).
   of scoring.
 * :mod:`repro.search.concurrency` — the reader/writer lock behind the
   engines' query-vs-mutation discipline.
+* :mod:`repro.search.lifecycle` — engine lifecycle management: the
+  swappable :class:`~repro.search.lifecycle.EngineHandle`, the replayable
+  :class:`~repro.search.lifecycle.DeltaJournal`, and the
+  :class:`~repro.search.lifecycle.RefitCoordinator` running background
+  Tucker refits with double-buffered hot swaps.
 """
 
 from repro.search.vsm import ConceptVectorSpace, RankedResult
@@ -57,6 +62,17 @@ from repro.search.shardpool import (
     ShardPoolError,
     ShardProcessPool,
 )
+from repro.search.lifecycle import (
+    BackgroundRefit,
+    DeltaJournal,
+    EngineHandle,
+    JournalEntry,
+    RefitCoordinator,
+    RefitResult,
+    SwapReport,
+    fold_mutations_into_folksonomy,
+    replay_entries,
+)
 
 __all__ = [
     "ConceptVectorSpace",
@@ -81,4 +97,13 @@ __all__ = [
     "ShardPoolDegraded",
     "ShardPoolError",
     "ShardProcessPool",
+    "BackgroundRefit",
+    "DeltaJournal",
+    "EngineHandle",
+    "JournalEntry",
+    "RefitCoordinator",
+    "RefitResult",
+    "SwapReport",
+    "fold_mutations_into_folksonomy",
+    "replay_entries",
 ]

@@ -146,6 +146,7 @@ class SearchEngine(FreshReadMixin):
     _resources_added: int = field(default=0, repr=False)
     _resources_removed: int = field(default=0, repr=False)
     _resources_updated: int = field(default=0, repr=False)
+    _pending_batches: int = field(default=0, repr=False)
     _rw: ReadWriteLock = field(
         default_factory=ReadWriteLock, repr=False, compare=False
     )
@@ -394,6 +395,7 @@ class SearchEngine(FreshReadMixin):
             self._resources_added += len(added_bags)
             self._resources_updated += len(updated_bags)
             self._resources_removed += len(removed)
+            self._pending_batches += 1
             return self.staleness()
 
     def add_resources(
@@ -430,6 +432,7 @@ class SearchEngine(FreshReadMixin):
                 refreshed = self.matrix_space.refresh() or refreshed
             if self.vector_space is not None:
                 refreshed = self.vector_space.refresh() or refreshed
+            self._pending_batches = 0
             return refreshed
 
     def staleness(self) -> StalenessReport:
@@ -453,7 +456,16 @@ class SearchEngine(FreshReadMixin):
             baseline_resources=baseline,
             current_resources=current,
             refit_due=self.refresh_policy.refit_due(delta_ops, baseline),
+            fold_in_due=self.refresh_policy.fold_in_due(self._pending_batches),
         )
+
+    def health(self) -> Dict[str, object]:
+        """Operational snapshot: identity, epoch and both drift verdicts."""
+        return {
+            "name": self.name,
+            "epoch": self.epoch,
+            "staleness": self.staleness().as_dict(),
+        }
 
     # ------------------------------------------------------------------ #
     # Persistence
@@ -499,6 +511,7 @@ class SearchEngine(FreshReadMixin):
             "refresh_policy": {
                 "max_delta_fraction": self.refresh_policy.max_delta_fraction,
                 "max_delta_ops": self.refresh_policy.max_delta_ops,
+                "max_pending_batches": self.refresh_policy.max_pending_batches,
             },
         }
 
@@ -522,6 +535,9 @@ class SearchEngine(FreshReadMixin):
                     policy_payload.get("max_delta_fraction", 0.1)
                 ),
                 max_delta_ops=policy_payload.get("max_delta_ops"),
+                max_pending_batches=int(
+                    policy_payload.get("max_pending_batches", 1)
+                ),
             ),
             epoch=int(payload.get("epoch", 0)),
             _baseline_resources=payload.get("baseline_resources"),

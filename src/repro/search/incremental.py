@@ -28,7 +28,21 @@ from repro.utils.errors import ConfigurationError
 
 @dataclass(frozen=True)
 class RefreshPolicy:
-    """When does folded-in drift warrant a full offline refit?
+    """When is maintenance warranted — and *which kind*?
+
+    Two distinct verdicts come out of one policy, because the two costs
+    differ by orders of magnitude:
+
+    * :meth:`fold_in_due` — the cheap lazy statistics refresh (idf/norm
+      recompute over pending fold-in batches).  Milliseconds; safe to run
+      inline on the serving path.
+    * :meth:`refit_due` — the full offline Tucker re-fit.  The latent
+      model itself has drifted too far from the corpus; a
+      :class:`~repro.search.lifecycle.RefitCoordinator` should rebuild it
+      in the background and hot-swap.
+
+    Earlier revisions conflated the two behind one threshold; operators
+    tuning refresh cadence were silently also tuning refit alarms.
 
     Parameters
     ----------
@@ -39,10 +53,15 @@ class RefreshPolicy:
     max_delta_ops:
         Optional absolute cap on mutated resources regardless of corpus
         size; ``None`` disables it.
+    max_pending_batches:
+        Fold-in refresh is due once this many mutation batches have been
+        applied since the last refresh (default 1: any pending batch makes
+        the lazy statistics stale).
     """
 
     max_delta_fraction: float = 0.1
     max_delta_ops: Optional[int] = None
+    max_pending_batches: int = 1
 
     def __post_init__(self) -> None:
         if self.max_delta_fraction <= 0.0:
@@ -53,14 +72,22 @@ class RefreshPolicy:
             raise ConfigurationError(
                 f"max_delta_ops must be >= 1 when given, got {self.max_delta_ops}"
             )
+        if self.max_pending_batches < 1:
+            raise ConfigurationError(
+                f"max_pending_batches must be >= 1, got {self.max_pending_batches}"
+            )
 
     def refit_due(self, delta_ops: int, baseline_resources: int) -> bool:
-        """Whether the accumulated drift crosses either threshold."""
+        """Whether the accumulated drift warrants a full Tucker refit."""
         if self.max_delta_ops is not None and delta_ops >= self.max_delta_ops:
             return True
         if baseline_resources <= 0:
             return delta_ops > 0
         return delta_ops / baseline_resources >= self.max_delta_fraction
+
+    def fold_in_due(self, pending_batches: int) -> bool:
+        """Whether the cheap lazy statistics refresh is warranted."""
+        return pending_batches >= self.max_pending_batches
 
 
 @dataclass(frozen=True)
@@ -79,7 +106,12 @@ class StalenessReport:
     current_resources:
         Corpus size now.
     refit_due:
-        The attached :class:`RefreshPolicy`'s verdict.
+        The attached :class:`RefreshPolicy`'s full-refit verdict.
+    fold_in_due:
+        The policy's cheap-refresh verdict: mutation batches are pending
+        past ``max_pending_batches`` and the lazy idf/norm statistics are
+        stale.  Distinct from ``refit_due`` — clearing it costs
+        milliseconds, not a Tucker fit.
     """
 
     epoch: int
@@ -89,6 +121,7 @@ class StalenessReport:
     baseline_resources: int
     current_resources: int
     refit_due: bool
+    fold_in_due: bool = False
 
     @property
     def delta_ops(self) -> int:
@@ -113,15 +146,17 @@ class StalenessReport:
             "current_resources": self.current_resources,
             "delta_fraction": self.delta_fraction,
             "refit_due": self.refit_due,
+            "fold_in_due": self.fold_in_due,
         }
 
     def summary(self) -> str:
-        """One line for logs: epoch, drift and the refit verdict."""
+        """One line for logs: epoch, drift and both maintenance verdicts."""
         return (
             f"epoch {self.epoch}: +{self.resources_added} "
             f"-{self.resources_removed} ~{self.resources_updated} resources "
             f"({self.delta_fraction:.1%} of the {self.baseline_resources} "
-            f"fitted) -> refit {'DUE' if self.refit_due else 'not due'}"
+            f"fitted) -> refit {'DUE' if self.refit_due else 'not due'}, "
+            f"fold-in {'DUE' if self.fold_in_due else 'not due'}"
         )
 
 
@@ -204,4 +239,7 @@ def aggregate_reports(
         baseline_resources=baseline,
         current_resources=sum(report.current_resources for report in reports),
         refit_due=policy.refit_due(added + removed + updated, baseline),
+        # Shards of one engine share a single refresh cycle, so any shard
+        # with stale lazy statistics makes the whole engine fold-in-due.
+        fold_in_due=any(report.fold_in_due for report in reports),
     )

@@ -277,6 +277,7 @@ class ShardedSearchEngine(FreshReadMixin):
                 "per-shard baselines/counters do not match the shard count"
             )
         self._stats_stale = False
+        self._pending_batches = 0
         self._rw = ReadWriteLock()
         self._pool_lock = threading.Lock()
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -595,6 +596,7 @@ class ShardedSearchEngine(FreshReadMixin):
             self._resources_updated += len(updated_bags)
             self._resources_removed += len(removed)
             self._stats_stale = True
+            self._pending_batches += 1
             if self.cache is not None:
                 self.cache.clear()
             return self.staleness()
@@ -667,6 +669,7 @@ class ShardedSearchEngine(FreshReadMixin):
         for shard in self.shards:
             shard.apply_statistics(idf, num_documents)
         self._stats_stale = False
+        self._pending_batches = 0
         return True
 
     def staleness(self) -> StalenessReport:
@@ -690,7 +693,17 @@ class ShardedSearchEngine(FreshReadMixin):
             baseline_resources=baseline,
             current_resources=current,
             refit_due=self.refresh_policy.refit_due(delta_ops, baseline),
+            fold_in_due=self.refresh_policy.fold_in_due(self._pending_batches),
         )
+
+    def health(self) -> Dict[str, object]:
+        """Operational snapshot: identity, epoch and both drift verdicts."""
+        return {
+            "name": self.name,
+            "epoch": self.epoch,
+            "num_shards": len(self.shards),
+            "staleness": self.staleness().as_dict(),
+        }
 
     def shard_staleness(self) -> List[StalenessReport]:
         """Per-shard drift since this engine was sharded.
@@ -717,6 +730,11 @@ class ShardedSearchEngine(FreshReadMixin):
                     current_resources=shard.pending_num_documents,
                     refit_due=self.refresh_policy.refit_due(
                         delta_ops, self._shard_baselines[index]
+                    ),
+                    # Refresh is an engine-wide cycle, so every shard shares
+                    # the engine-level pending-batch verdict.
+                    fold_in_due=self.refresh_policy.fold_in_due(
+                        self._pending_batches
                     ),
                 )
             )
@@ -780,6 +798,9 @@ class ShardedSearchEngine(FreshReadMixin):
                 "refresh_policy": {
                     "max_delta_fraction": self.refresh_policy.max_delta_fraction,
                     "max_delta_ops": self.refresh_policy.max_delta_ops,
+                    "max_pending_batches": (
+                        self.refresh_policy.max_pending_batches
+                    ),
                 },
                 "cache_entries": (
                     self.cache.max_entries if self.cache is not None else 0
@@ -844,6 +865,9 @@ class ShardedSearchEngine(FreshReadMixin):
                     policy_payload.get("max_delta_fraction", 0.1)
                 ),
                 max_delta_ops=policy_payload.get("max_delta_ops"),
+                max_pending_batches=int(
+                    policy_payload.get("max_pending_batches", 1)
+                ),
             ),
             epoch=int(payload.get("epoch", 0)),
             cache=QueryCache(cache_entries) if cache_entries else None,
@@ -895,6 +919,9 @@ class ShardedSearchEngine(FreshReadMixin):
                     policy_payload.get("max_delta_fraction", 0.1)
                 ),
                 max_delta_ops=policy_payload.get("max_delta_ops"),
+                max_pending_batches=int(
+                    policy_payload.get("max_pending_batches", 1)
+                ),
             ),
             epoch=int(payload.get("epoch", 0)),
         )

@@ -179,6 +179,12 @@ class BatchingFrontend:
         else:
             self.cache = None
             self._cache_is_engines = False
+        register = getattr(engine, "add_swap_listener", None)
+        if callable(register):
+            # Lifecycle-managed engines (an EngineHandle) announce hot
+            # generation swaps; the front-end flushes its cache — a new
+            # generation is a new concept model — and counts the event.
+            register(self._on_generation_swap)
         self._cond = Condition()
         self._pending: List[_Request] = []
         self._closed = False
@@ -235,9 +241,12 @@ class BatchingFrontend:
         """One dict: metrics snapshot, admission state, cache stats.
 
         When the engine reports operational health (the process pool's
-        ``health()``), that snapshot is included under ``engine_health``
-        — worker states, restarts and degraded-read counts surface
-        through the same endpoint as the front-end's own metrics.
+        ``health()``, or an :class:`~repro.search.lifecycle.EngineHandle`'s
+        generation/epoch/staleness snapshot — which separates the
+        ``fold_in_due`` and ``refit_due`` verdicts), that snapshot is
+        included under ``engine_health`` — worker states, drift alarms and
+        generation swaps surface through the same endpoint as the
+        front-end's own metrics.
         """
         payload = self.metrics.snapshot()
         payload["admission"] = {
@@ -250,10 +259,20 @@ class BatchingFrontend:
             payload["cache_owner"] = (
                 "engine" if self._cache_is_engines else "frontend"
             )
+        generation = getattr(self.engine, "generation", None)
+        if generation is not None:
+            payload["engine_generation"] = generation
         health = getattr(self.engine, "health", None)
         if callable(health):
             payload["engine_health"] = health()
         return payload
+
+    def _on_generation_swap(self, generation: int) -> None:
+        """Swap-listener hook: flush the owned cache, count the event."""
+        self.metrics.increment("generation_swaps")
+        self.metrics.set_gauge("engine_generation", generation)
+        if self.cache is not None and not self._cache_is_engines:
+            self.cache.invalidate_generation(generation)
 
     def close(self) -> None:
         """Drain every pending request, then stop the batcher (idempotent)."""
