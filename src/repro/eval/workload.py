@@ -1,4 +1,4 @@
-"""Workload replay sweep: throughput vs worker count, parity enforced.
+"""Workload replay sweeps: throughput, scenarios, parity enforced.
 
 :func:`workload_sweep` is to the workload subsystem what
 :func:`repro.eval.sharding.sharding_sweep` is to sharding: it replays one
@@ -8,14 +8,34 @@ run against the golden with :func:`repro.load.check_replay_parity`, and
 returns rows for :func:`repro.eval.reporting.format_table` — throughput,
 query latency quantiles and error counts per run.  A fast replay that
 diverged from the golden raises instead of reporting.
+
+:func:`scenario_sweep` runs the named production-shaped profiles from
+:mod:`repro.load.scenarios` — flash crowd, diurnal pacing, multi-tenant
+skew, rebuild storm, chaos fault injection — each under its *own*
+invariant (:func:`repro.load.check_scenario`) on top of the parity bar,
+and reports per-scenario latency, shed-rate and degradation columns.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.load.invariants import PARITY_TOL, check_replay_parity
+from repro.load.invariants import (
+    PARITY_TOL,
+    ScenarioVerdict,
+    check_replay_parity,
+    check_scenario,
+)
 from repro.load.runner import WorkloadReport, WorkloadRunner, quiesced_rankings
+from repro.load.scenarios import (
+    SCENARIO_CHAOS,
+    SCENARIO_DIURNAL,
+    SCENARIO_FLASH_CROWD,
+    SCENARIO_MULTI_TENANT,
+    SCENARIO_NAMES,
+    build_scenario,
+    run_chaos,
+)
 from repro.load.workload import QUERY, WorkloadTrace
 from repro.utils.errors import ConfigurationError
 
@@ -93,3 +113,121 @@ def workload_sweep(
         closer = getattr(golden_engine, "close", None)
         if callable(closer):
             closer()
+
+
+def _scenario_row(
+    name: str, report: WorkloadReport, verdict: ScenarioVerdict
+) -> Dict[str, object]:
+    queries = report.latencies[QUERY]
+    submitted = int(verdict.details.get("submitted", 0))
+    shed = int(verdict.details.get("shed", 0))
+    shed_rate = shed / max(submitted + shed, 1) if submitted or shed else 0.0
+    return {
+        "Scenario": name,
+        "Workers": report.num_workers,
+        "Seconds": round(report.wall_seconds, 6),
+        "Ops/s": round(report.ops_per_second, 1),
+        "Query p50": f"{queries.quantile(0.5) * 1e3:.2f}ms",
+        "Query p99": f"{queries.quantile(0.99) * 1e3:.2f}ms",
+        "Shed rate": f"{shed_rate:.1%}",
+        "Degraded": int(verdict.details.get("degraded_errors", 0)),
+        "Errors": len(report.errors),
+    }
+
+
+def scenario_sweep(
+    build_engine: Callable[[], object],
+    folksonomy,
+    scenario_names: Sequence[str] = SCENARIO_NAMES,
+    seed: int = 0,
+    num_workers: int = 4,
+    tol: float = PARITY_TOL,
+    frontend_config=None,
+    save_dir: Optional[str] = None,
+    **scenario_kwargs,
+) -> Tuple[List[Dict[str, object]], List[ScenarioVerdict]]:
+    """Run each named scenario under its invariant; return rows + verdicts.
+
+    Every scenario trace is built from one ``seed`` over ``folksonomy``
+    (``scenario_kwargs`` forward to
+    :func:`repro.load.scenarios.build_scenario`), replayed at
+    ``num_workers``, and judged by :func:`repro.load.check_scenario` on
+    top of the parity bar — any violation raises
+    :class:`ConfigurationError` instead of reporting.  The flash-crowd
+    and multi-tenant legs replay through the micro-batching front-end
+    (``frontend_config`` or a default) because their invariants read the
+    dedup/admission books; diurnal replays *paced* so the arrival curve
+    is honoured; chaos needs ``save_dir`` (a published sharded save) and
+    is skipped with a raise if it is requested without one.  Rows are
+    :func:`repro.eval.reporting.format_table`-ready: per-scenario wall
+    time, throughput, query quantiles, shed rate and degraded-read
+    counts.
+    """
+    if not scenario_names:
+        raise ConfigurationError("scenario_sweep needs >= 1 scenario name")
+    if num_workers < 1:
+        raise ConfigurationError(
+            f"num_workers must be >= 1, got {num_workers}"
+        )
+    rows: List[Dict[str, object]] = []
+    verdicts: List[ScenarioVerdict] = []
+    for name in scenario_names:
+        scenario = build_scenario(
+            name, folksonomy, seed=seed, **scenario_kwargs
+        )
+        if name == SCENARIO_CHAOS:
+            if save_dir is None:
+                raise ConfigurationError(
+                    "the chaos scenario replays over a ShardProcessPool; "
+                    "pass save_dir= (a published sharded save directory)"
+                )
+            golden_engine = build_engine()
+            try:
+                golden_rankings = quiesced_rankings(
+                    golden_engine, scenario.trace
+                )
+            finally:
+                closer = getattr(golden_engine, "close", None)
+                if callable(closer):
+                    closer()
+            outcome = run_chaos(
+                save_dir, scenario, num_workers=num_workers
+            )
+            verdict = check_scenario(
+                scenario,
+                chaos=outcome,
+                golden_rankings=golden_rankings,
+                tol=tol,
+            )
+            report = outcome.report
+        else:
+            use_frontend = name in (
+                SCENARIO_FLASH_CROWD,
+                SCENARIO_MULTI_TENANT,
+            )
+            config = frontend_config
+            if use_frontend and config is None:
+                from repro.serve.frontend import FrontendConfig
+
+                config = FrontendConfig()
+            parity = check_replay_parity(
+                build_engine,
+                scenario.trace,
+                num_workers=num_workers,
+                tol=tol,
+                frontend_config=config if use_frontend else None,
+                pace=name == SCENARIO_DIURNAL,
+                allowed_error_kinds=("Overloaded",)
+                if use_frontend
+                else (),
+            )
+            verdict = check_scenario(scenario, parity=parity, tol=tol)
+            report = parity.concurrent
+        if not verdict.ok:
+            raise ConfigurationError(
+                f"scenario {name!r} violated its invariant:\n"
+                + "\n".join(verdict.violations)
+            )
+        rows.append(_scenario_row(name, report, verdict))
+        verdicts.append(verdict)
+    return rows, verdicts

@@ -12,11 +12,18 @@ keeping every run reproducible from one seed:
 * :mod:`repro.load.runner` — :class:`WorkloadRunner` replaying a trace
   serially (the golden reference) or across N worker threads with
   mutations admitted in trace order, recording per-op-kind latency
-  histograms, throughput and an epoch-observation audit;
-* :mod:`repro.load.invariants` — :func:`check_replay_parity`, asserting
-  that a concurrent replay errors nowhere, converges to the serial final
-  state, ranks the trace's evaluation probes identically to 1e-9 after
-  quiescing, and never let any reader observe the epoch run backwards.
+  histograms (with per-tenant sub-books), throughput and an
+  epoch-observation audit;
+* :mod:`repro.load.scenarios` — named, seeded production-shaped profiles
+  (:data:`SCENARIO_NAMES`): flash crowds, diurnal arrival curves,
+  multi-tenant skew, rebuild storms and a chaos profile whose
+  :class:`FaultPlan` kills/stalls shard-pool workers at trace-scheduled
+  points (:func:`run_chaos`);
+* :mod:`repro.load.invariants` — :func:`check_replay_parity` (the parity
+  bar: zero errors, state convergence, 1e-9 probe parity, monotone
+  epochs) plus per-scenario invariants via :func:`check_scenario`
+  (dedup amortization, pacing fidelity, tenant partitioning, typed
+  degraded modes and bounded chaos recovery).
 """
 
 from repro.load.workload import (
@@ -32,12 +39,39 @@ from repro.load.runner import (
     LatencyHistogram,
     WorkloadReport,
     WorkloadRunner,
+    merge_workload_reports,
     quiesced_rankings,
+)
+from repro.load.scenarios import (
+    DEFAULT_TENANTS,
+    FAULT_KILL,
+    FAULT_KINDS,
+    FAULT_RESTART,
+    FAULT_STALL,
+    SCENARIO_CHAOS,
+    SCENARIO_DIURNAL,
+    SCENARIO_FLASH_CROWD,
+    SCENARIO_MULTI_TENANT,
+    SCENARIO_NAMES,
+    SCENARIO_REBUILD_STORM,
+    ChaosOutcome,
+    FaultAction,
+    FaultPlan,
+    ScenarioTrace,
+    build_scenario,
+    run_chaos,
 )
 from repro.load.invariants import (
     PARITY_TOL,
     ReplayParityReport,
+    ScenarioVerdict,
+    check_chaos,
+    check_diurnal,
+    check_flash_crowd,
+    check_multi_tenant,
+    check_rebuild_storm,
     check_replay_parity,
+    check_scenario,
 )
 
 __all__ = [
@@ -51,8 +85,33 @@ __all__ = [
     "LatencyHistogram",
     "WorkloadReport",
     "WorkloadRunner",
+    "merge_workload_reports",
     "quiesced_rankings",
+    "DEFAULT_TENANTS",
+    "FAULT_KILL",
+    "FAULT_KINDS",
+    "FAULT_RESTART",
+    "FAULT_STALL",
+    "SCENARIO_CHAOS",
+    "SCENARIO_DIURNAL",
+    "SCENARIO_FLASH_CROWD",
+    "SCENARIO_MULTI_TENANT",
+    "SCENARIO_NAMES",
+    "SCENARIO_REBUILD_STORM",
+    "ChaosOutcome",
+    "FaultAction",
+    "FaultPlan",
+    "ScenarioTrace",
+    "build_scenario",
+    "run_chaos",
     "PARITY_TOL",
     "ReplayParityReport",
+    "ScenarioVerdict",
+    "check_chaos",
+    "check_diurnal",
+    "check_flash_crowd",
+    "check_multi_tenant",
+    "check_rebuild_storm",
     "check_replay_parity",
+    "check_scenario",
 ]

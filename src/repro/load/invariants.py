@@ -22,10 +22,19 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.load.runner import WorkloadReport, WorkloadRunner, quiesced_rankings
-from repro.load.workload import WorkloadTrace
+from repro.load.scenarios import (
+    SCENARIO_CHAOS,
+    SCENARIO_DIURNAL,
+    SCENARIO_FLASH_CROWD,
+    SCENARIO_MULTI_TENANT,
+    SCENARIO_REBUILD_STORM,
+    ChaosOutcome,
+    ScenarioTrace,
+)
+from repro.load.workload import QUERY, WorkloadTrace
 from repro.utils.errors import ConfigurationError
 
 #: The ranking parity tolerance shared with the sharded parity suites.
@@ -50,6 +59,11 @@ class ReplayParityReport:
     mismatched_probes: List[int]
     generations_advanced: int = 0
     scratch_mismatched_probes: List[int] = field(default_factory=list)
+    #: The front-end's ``stats()`` snapshot taken right after the
+    #: concurrent replay drained (None when no front-end was involved) —
+    #: the evidence scenario checkers read coalescing/cache/shed numbers
+    #: from without keeping the front-end alive past the replay.
+    frontend_stats: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -83,6 +97,8 @@ def check_replay_parity(
     frontend_config: Optional[object] = None,
     concurrent_build_engine: Optional[Callable[[], object]] = None,
     swap_during_replay: Optional[Callable[[], object]] = None,
+    pace: bool = False,
+    allowed_error_kinds: Sequence[str] = (),
 ) -> ReplayParityReport:
     """Replay ``trace`` serially and concurrently; verify the invariants.
 
@@ -132,6 +148,19 @@ def check_replay_parity(
     scratch build at ``tol``, the PR 2 invariant carried across the
     swap).  A swap callable that raises, or that completes without
     advancing the handle's generation, is itself a violation.
+
+    ``pace`` makes the *concurrent* replay honour per-operation
+    ``arrival_offset`` stamps (the diurnal scenario); the serial golden
+    stays unpaced — pacing shapes arrivals, not answers.
+
+    ``allowed_error_kinds`` names exception classes (by ``__name__``)
+    that the **concurrent** replay may raise without violating the
+    zero-error bar — scenarios that deliberately shed load pass
+    ``("Overloaded",)`` so a typed rejection is not confused with a
+    wrong answer.  The serial golden must still be error-free, every
+    error must carry a recorded kind, and all the remaining invariants
+    (state convergence, probe parity, epoch monotonicity) apply
+    unchanged.
     """
     # Deferred: repro.eval.workload wraps this checker, so importing the
     # comparator at module scope would make repro.load and repro.eval
@@ -172,6 +201,7 @@ def check_replay_parity(
             )
             swap_thread.start()
 
+        frontend_stats: Optional[Dict[str, object]] = None
         if frontend_config is not None:
             # Deferred for the same reason as rankings_match above:
             # repro.serve reuses repro.load's LatencyHistogram.
@@ -182,17 +212,18 @@ def check_replay_parity(
             ) as frontend:
                 concurrent_report = WorkloadRunner(
                     concurrent_engine, trace
-                ).run_concurrent(num_workers, frontend=frontend)
+                ).run_concurrent(num_workers, frontend=frontend, pace=pace)
                 if swap_thread is not None:
                     # Joined with the front-end still open: the refit may
                     # need a last micro-batch window to drain, and its
                     # swap must land on a *serving* front-end to prove
                     # zero-pause.
                     swap_thread.join()
+                frontend_stats = frontend.stats()
         else:
             concurrent_report = WorkloadRunner(
                 concurrent_engine, trace
-            ).run_concurrent(num_workers)
+            ).run_concurrent(num_workers, pace=pace)
             if swap_thread is not None:
                 swap_thread.join()
 
@@ -218,10 +249,27 @@ def check_replay_parity(
             ("serial", serial_report),
             ("concurrent", concurrent_report),
         ):
-            if report.errors:
+            if not report.errors:
+                continue
+            # Only the concurrent side may claim an allowance, and only
+            # for errors whose recorded kind is explicitly allowed — an
+            # error without a kind entry is untyped and always counts.
+            allowed = set(allowed_error_kinds) if label == "concurrent" else ()
+            kinds = list(report.error_kinds)
+            if len(kinds) < len(report.errors):
+                kinds += ["<unrecorded>"] * (len(report.errors) - len(kinds))
+            disallowed = [
+                index
+                for index, kind in enumerate(kinds)
+                if kind not in allowed
+            ]
+            if disallowed:
+                first = disallowed[0]
                 violations.append(
-                    f"{label} replay raised {len(report.errors)} error(s); "
-                    f"first: {report.errors[0].splitlines()[-1]}"
+                    f"{label} replay raised {len(disallowed)} disallowed "
+                    f"error(s) of {len(report.errors)}; first "
+                    f"({kinds[first]}): "
+                    f"{report.errors[first].splitlines()[-1]}"
                 )
         # Each hot swap stamps the incoming engine ``old epoch + 1``, so in
         # swap mode the concurrent side legitimately runs ahead of the
@@ -330,6 +378,7 @@ def check_replay_parity(
             mismatched_probes=mismatched,
             generations_advanced=generations_advanced,
             scratch_mismatched_probes=scratch_mismatched,
+            frontend_stats=frontend_stats,
         )
     finally:
         closer = getattr(concurrent_engine, "close", None)
@@ -339,3 +388,360 @@ def check_replay_parity(
             closer = getattr(serial_engine, "close", None)
             if callable(closer):
                 closer()
+
+
+# ---------------------------------------------------------------------- #
+# Per-scenario invariants (beyond the parity bar)
+# ---------------------------------------------------------------------- #
+@dataclass
+class ScenarioVerdict:
+    """One scenario's verdict: its violations plus the measured evidence.
+
+    ``details`` carries the numbers the checker judged (amortization
+    ratio, shed rate, recovery seconds, per-tenant counts, …) so report
+    rows and bench gates read the same figures the invariant did.
+    """
+
+    scenario: str
+    violations: List[str]
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        lines = [
+            f"scenario {self.scenario}: "
+            + ("OK" if self.ok else "VIOLATED")
+        ]
+        lines.extend(f"  violation: {item}" for item in self.violations)
+        for key in sorted(self.details):
+            lines.append(f"  {key}: {self.details[key]}")
+        return "\n".join(lines)
+
+
+def _typed_error_violations(
+    report: WorkloadReport, allowed: Sequence[str], violations: List[str]
+) -> None:
+    """Every error must be recorded with an allowed exception kind."""
+    kinds = list(report.error_kinds)
+    if len(kinds) != len(report.errors):
+        violations.append(
+            f"{len(report.errors)} error(s) but only {len(kinds)} recorded "
+            "kind(s) — untyped failures slipped through"
+        )
+        return
+    bad = sorted({kind for kind in kinds if kind not in set(allowed)})
+    if bad:
+        violations.append(
+            f"untyped/disallowed error kinds {bad}; allowed: {list(allowed)}"
+        )
+
+
+def check_flash_crowd(
+    parity: ReplayParityReport,
+    min_amortization: float = 0.2,
+    max_shed_rate: float = 0.5,
+) -> ScenarioVerdict:
+    """Flash crowd: dedup/cache amortization, bounded shed, right answers.
+
+    The crowd's repeats must be *absorbed* — at least
+    ``min_amortization`` of admitted queries resolved by in-flight
+    coalescing or a cache hit rather than a fresh engine scoring — while
+    any load shedding stays typed (``Overloaded`` only), under
+    ``max_shed_rate``, and never corrupts an answer (the parity bar's
+    probe check stands in for "zero wrong answers").
+    """
+    violations = list(parity.violations)
+    details: Dict[str, object] = {}
+    _typed_error_violations(
+        parity.concurrent, ("Overloaded",), violations
+    )
+    stats = parity.frontend_stats
+    if stats is None:
+        violations.append(
+            "flash_crowd needs the front-end replay path (pass "
+            "frontend_config) to measure dedup amortization"
+        )
+    else:
+        counters = stats.get("counters", {})
+        submitted = int(counters.get("submitted", 0))
+        coalesced = int(counters.get("coalesced", 0))
+        shed = int(counters.get("shed", 0))
+        cache = stats.get("cache") or {}
+        hits = int(cache.get("hits", 0))
+        amortization = (coalesced + hits) / max(submitted, 1)
+        shed_rate = shed / max(submitted + shed, 1)
+        details.update(
+            submitted=submitted,
+            coalesced=coalesced,
+            cache_hits=hits,
+            amortization=round(amortization, 4),
+            shed=shed,
+            shed_rate=round(shed_rate, 4),
+        )
+        if amortization < min_amortization:
+            violations.append(
+                f"crowd repeats were not amortized: {amortization:.1%} of "
+                f"{submitted} admitted queries coalesced or hit the cache "
+                f"(floor {min_amortization:.0%})"
+            )
+        if shed_rate > max_shed_rate:
+            violations.append(
+                f"shed rate {shed_rate:.1%} exceeds the "
+                f"{max_shed_rate:.0%} bound"
+            )
+    return ScenarioVerdict(SCENARIO_FLASH_CROWD, violations, details)
+
+
+def check_diurnal(
+    parity: ReplayParityReport, scenario: ScenarioTrace
+) -> ScenarioVerdict:
+    """Diurnal: the paced replay actually honoured the arrival curve.
+
+    The concurrent wall time must cover the last scheduled arrival —
+    a replay that finished earlier dispatched operations before their
+    offsets, i.e. pacing silently did not happen — on top of the
+    unchanged parity bar.
+    """
+    violations = list(parity.violations)
+    offsets = [
+        op.arrival_offset
+        for op in scenario.trace.operations
+        if op.arrival_offset >= 0.0
+    ]
+    span = max(offsets) if offsets else 0.0
+    details: Dict[str, object] = {
+        "arrival_span_seconds": round(span, 4),
+        "concurrent_wall_seconds": round(parity.concurrent.wall_seconds, 4),
+    }
+    if not offsets:
+        violations.append("diurnal trace carries no arrival_offset stamps")
+    elif parity.concurrent.wall_seconds < span:
+        violations.append(
+            f"paced replay finished in {parity.concurrent.wall_seconds:.3f}s "
+            f"but the arrival curve spans {span:.3f}s — pacing was ignored"
+        )
+    return ScenarioVerdict(SCENARIO_DIURNAL, violations, details)
+
+
+def check_multi_tenant(
+    parity: ReplayParityReport, scenario: ScenarioTrace
+) -> ScenarioVerdict:
+    """Multi-tenant: per-tenant books exist and partition the aggregate.
+
+    Every tenant that sent traffic must have a query sub-histogram in
+    the concurrent report, the per-tenant counts must sum to exactly
+    the tenant-attributed query count (no double-counting into the
+    aggregate), and — when the replay went through the front-end — the
+    admission snapshot must break pending/shed out per tenant.
+    """
+    violations = list(parity.violations)
+    details: Dict[str, object] = {}
+    queries = parity.concurrent.latencies.get(QUERY)
+    children = queries.children() if queries is not None else {}
+    expected = {
+        op.tenant
+        for op in scenario.trace.operations
+        if op.kind == QUERY and op.tenant
+    }
+    tenant_query_ops = sum(
+        1
+        for op in scenario.trace.operations
+        if op.kind == QUERY and op.tenant
+    )
+    missing = sorted(expected - set(children))
+    if missing:
+        violations.append(
+            f"tenants {missing} sent queries but have no latency book"
+        )
+    labeled = sum(child.count for child in children.values())
+    aggregate = queries.count if queries is not None else 0
+    details.update(
+        tenants=sorted(expected),
+        labeled_samples=labeled,
+        tenant_query_ops=tenant_query_ops,
+        aggregate_samples=aggregate,
+        per_tenant_counts={
+            name: child.count for name, child in sorted(children.items())
+        },
+    )
+    if labeled != tenant_query_ops:
+        violations.append(
+            f"per-tenant books hold {labeled} samples but the trace "
+            f"attributed {tenant_query_ops} queries to tenants — the "
+            "breakdown does not partition the traffic"
+        )
+    if labeled > aggregate:
+        violations.append(
+            f"per-tenant books hold {labeled} samples against an aggregate "
+            f"of {aggregate} — children double-counted into the total"
+        )
+    stats = parity.frontend_stats
+    if stats is not None:
+        admission = stats.get("admission", {})
+        tenant_stats = admission.get("tenants", {})
+        absent = sorted(expected - set(tenant_stats))
+        if absent:
+            violations.append(
+                f"admission stats carry no per-tenant entries for {absent}"
+            )
+        else:
+            details["admission_tenants"] = tenant_stats
+    return ScenarioVerdict(SCENARIO_MULTI_TENANT, violations, details)
+
+
+def check_rebuild_storm(
+    parity: ReplayParityReport,
+    scenario: ScenarioTrace,
+    min_mutation_fraction: float = 0.4,
+) -> ScenarioVerdict:
+    """Rebuild storm: genuinely write-heavy, still converging exactly.
+
+    The parity bar already proves the hard part (state convergence and
+    probe parity under racing writes — and, in swap mode, across a hot
+    refit); this checker asserts the storm was real: the mutation share
+    of the trace meets the floor and the epoch actually advanced once
+    per mutation batch.
+    """
+    violations = list(parity.violations)
+    total = len(scenario.trace.operations)
+    mutations = scenario.trace.num_mutations
+    fraction = mutations / max(total, 1)
+    details: Dict[str, object] = {
+        "mutation_batches": mutations,
+        "mutation_fraction": round(fraction, 4),
+        "final_epoch": parity.concurrent.final_epoch,
+        "generations_advanced": parity.generations_advanced,
+    }
+    if fraction < min_mutation_fraction:
+        violations.append(
+            f"storm too gentle: {fraction:.1%} mutations "
+            f"(floor {min_mutation_fraction:.0%})"
+        )
+    expected_epoch = (
+        parity.serial.final_epoch + parity.generations_advanced
+    )
+    if mutations and expected_epoch < mutations:
+        violations.append(
+            f"epoch advanced to {expected_epoch} for {mutations} mutation "
+            "batches — writes were lost or folded"
+        )
+    return ScenarioVerdict(SCENARIO_REBUILD_STORM, violations, details)
+
+
+def check_chaos(
+    outcome: ChaosOutcome,
+    golden_rankings: Tuple[int, List[list]],
+    tol: float = PARITY_TOL,
+    max_recovery_seconds: float = 10.0,
+    max_wall_seconds: float = 120.0,
+) -> ScenarioVerdict:
+    """Chaos: typed degradation only, bounded time, exact reconvergence.
+
+    Every error the faulted replay surfaced must be a typed degraded
+    response (``ShardPoolDegraded`` under strict reads, ``Overloaded``
+    under admission pressure) — never an untyped failure, and never a
+    hang: the whole run and the post-restore recovery are wall-bounded.
+    After the plan's restores, the quiesced pool must rank the trace's
+    evaluation probes identically (``tol``) to the golden engine — the
+    revived pool serves exactly what an unfaulted one would.
+    """
+    from repro.eval.sharding import rankings_match  # deferred, as above
+
+    violations: List[str] = []
+    report = outcome.report
+    _typed_error_violations(
+        report, ("ShardPoolDegraded", "Overloaded"), violations
+    )
+    if outcome.recovery_seconds > max_recovery_seconds:
+        violations.append(
+            f"post-restore recovery took {outcome.recovery_seconds:.2f}s "
+            f"(bound {max_recovery_seconds:g}s)"
+        )
+    if outcome.wall_seconds > max_wall_seconds:
+        violations.append(
+            f"chaos run took {outcome.wall_seconds:.1f}s "
+            f"(bound {max_wall_seconds:g}s) — something hung"
+        )
+    regressions = report.epoch_log.regressions()
+    if regressions:
+        reader, seen, then = regressions[0]
+        violations.append(
+            f"epoch ran backwards for {reader}: observed {seen} then {then}"
+        )
+    truncated = outcome.scenario.trace.config.top_k is not None
+    _, want = golden_rankings
+    _, got = outcome.post_rankings
+    mismatched = [
+        probe
+        for probe, (ours, theirs) in enumerate(zip(got, want))
+        if not rankings_match(ours, theirs, tol=tol, truncated=truncated)
+    ]
+    if mismatched:
+        violations.append(
+            f"{len(mismatched)} of {len(want)} post-revival probes diverged "
+            f"from the golden beyond {tol:g} (first: probe {mismatched[0]})"
+        )
+    workers = outcome.health.get("workers", [])
+    unhealthy = [
+        worker["shard_id"]
+        for worker in workers
+        if worker.get("state") != "ready"
+    ]
+    if unhealthy:
+        violations.append(
+            f"shard(s) {unhealthy} not ready after the self-restoring plan"
+        )
+    details: Dict[str, object] = {
+        "errors": len(report.errors),
+        "degraded_errors": sum(
+            1 for kind in report.error_kinds if kind == "ShardPoolDegraded"
+        ),
+        "recovery_seconds": round(outcome.recovery_seconds, 4),
+        "wall_seconds": round(outcome.wall_seconds, 3),
+        "fault_log": list(outcome.fault_log),
+        "mismatched_probes": mismatched,
+    }
+    return ScenarioVerdict(SCENARIO_CHAOS, violations, details)
+
+
+def check_scenario(
+    scenario: ScenarioTrace,
+    parity: Optional[ReplayParityReport] = None,
+    chaos: Optional[ChaosOutcome] = None,
+    golden_rankings: Optional[Tuple[int, List[list]]] = None,
+    tol: float = PARITY_TOL,
+    **thresholds,
+) -> ScenarioVerdict:
+    """Dispatch one scenario's outcome to its invariant checker.
+
+    Non-chaos scenarios pass the :class:`ReplayParityReport` from
+    :func:`check_replay_parity`; chaos passes the
+    :class:`~repro.load.scenarios.ChaosOutcome` from
+    :func:`~repro.load.scenarios.run_chaos` plus the golden engine's
+    quiesced probe rankings.  ``thresholds`` forward to the specific
+    checker (amortization floors, shed/recovery bounds, …).
+    """
+    name = scenario.scenario
+    if name == SCENARIO_CHAOS:
+        if chaos is None or golden_rankings is None:
+            raise ConfigurationError(
+                "chaos verdicts need chaos= (a ChaosOutcome) and "
+                "golden_rankings="
+            )
+        return check_chaos(chaos, golden_rankings, tol=tol, **thresholds)
+    if parity is None:
+        raise ConfigurationError(
+            f"scenario {name!r} needs parity= (a ReplayParityReport)"
+        )
+    if name == SCENARIO_FLASH_CROWD:
+        return check_flash_crowd(parity, **thresholds)
+    if name == SCENARIO_DIURNAL:
+        return check_diurnal(parity, scenario, **thresholds)
+    if name == SCENARIO_MULTI_TENANT:
+        return check_multi_tenant(parity, scenario, **thresholds)
+    if name == SCENARIO_REBUILD_STORM:
+        return check_rebuild_storm(parity, scenario, **thresholds)
+    raise ConfigurationError(f"unknown scenario {name!r}")

@@ -28,8 +28,8 @@ from __future__ import annotations
 import threading
 import time
 import traceback
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.load.workload import MUTATE, QUERY, REFRESH, Operation, WorkloadTrace
 from repro.search.incremental import EpochObservationLog
@@ -53,6 +53,14 @@ class LatencyHistogram:
     worker records into its own set and the runner :meth:`merge`\\ s them
     afterwards, which keeps the measurement itself off the hot path's
     lock profile.
+
+    A histogram can carry labelled **sub-histograms** (per-tenant or
+    per-scenario latency books): :meth:`record` with a ``label`` counts
+    the sample once in the aggregate and once in that label's child,
+    and :meth:`merge` folds children recursively.  The aggregate is
+    always the top-level counts alone — children are a *breakdown* of
+    it, never an addition to it, so summing a report's aggregate with
+    its children would double-count and the accessors keep them apart.
     """
 
     def __init__(self) -> None:
@@ -61,12 +69,19 @@ class LatencyHistogram:
         self.total_seconds = 0.0
         self.min_seconds = float("inf")
         self.max_seconds = 0.0
+        self._children: Dict[str, "LatencyHistogram"] = {}
 
-    def record(self, seconds: float) -> None:
+    def record(self, seconds: float, label: Optional[str] = None) -> None:
         if seconds < 0.0:
             raise ConfigurationError(
                 f"latency must be non-negative, got {seconds}"
             )
+        self._observe(seconds)
+        if label is not None:
+            self._ensure_child(label)._observe(seconds)
+
+    def _observe(self, seconds: float) -> None:
+        """Count one sample into this histogram's own buckets only."""
         bucket = 0
         edge = _BUCKET_FLOOR
         while bucket < _NUM_BUCKETS and seconds >= edge:
@@ -78,14 +93,52 @@ class LatencyHistogram:
         self.min_seconds = min(self.min_seconds, seconds)
         self.max_seconds = max(self.max_seconds, seconds)
 
-    def merge(self, other: "LatencyHistogram") -> None:
-        """Fold ``other``'s samples into this histogram."""
+    def _ensure_child(self, label: str) -> "LatencyHistogram":
+        child = self._children.get(label)
+        if child is None:
+            child = self._children[label] = LatencyHistogram()
+        return child
+
+    def _fold(self, other: "LatencyHistogram") -> None:
+        """Fold ``other``'s own buckets (not its children) into ours."""
         for bucket, count in enumerate(other._counts):
             self._counts[bucket] += count
         self.count += other.count
         self.total_seconds += other.total_seconds
         self.min_seconds = min(self.min_seconds, other.min_seconds)
         self.max_seconds = max(self.max_seconds, other.max_seconds)
+
+    def merge(
+        self, other: "LatencyHistogram", label: Optional[str] = None
+    ) -> None:
+        """Fold ``other``'s samples into this histogram.
+
+        ``other``'s aggregate goes into our aggregate exactly once; its
+        children merge into our same-named children, so per-label counts
+        stay a partition of the aggregate across any merge tree (the
+        per-worker → per-run merge in the replay runner).  With
+        ``label``, ``other``'s aggregate is *additionally* recorded
+        under that child — the per-scenario book when whole reports are
+        folded into a cross-scenario one.
+        """
+        self._fold(other)
+        if label is not None:
+            self._ensure_child(label)._fold(other)
+        for name, child in other._children.items():
+            self._ensure_child(name)._fold(child)
+
+    def child(self, label: str) -> Optional["LatencyHistogram"]:
+        """The sub-histogram recorded under ``label`` (None if unseen)."""
+        return self._children.get(label)
+
+    def children(self) -> Dict[str, "LatencyHistogram"]:
+        """All labelled sub-histograms (a shallow copy of the mapping)."""
+        return dict(self._children)
+
+    @property
+    def labeled_count(self) -> int:
+        """Samples carrying any label — never more than :attr:`count`."""
+        return sum(child.count for child in self._children.values())
 
     @property
     def mean_seconds(self) -> float:
@@ -157,6 +210,11 @@ class WorkloadReport:
     final_resources: int
     cache_stats: Optional[Dict[str, object]] = None
     quiesce_seconds: float = 0.0
+    #: Exception class names parallel to ``errors`` — the typed-failure
+    #: ledger scenario invariants assert over (e.g. a chaos replay may
+    #: only ever see ShardPoolDegraded/Overloaded here, never a bare
+    #: RuntimeError or a missing entry).
+    error_kinds: List[str] = field(default_factory=list)
 
     @property
     def total_operations(self) -> int:
@@ -193,6 +251,58 @@ class WorkloadReport:
         for error in self.errors[:3]:
             lines.append(f"  error: {error.splitlines()[-1]}")
         return "\n".join(lines)
+
+    def tenant_latencies(self, kind: str) -> Dict[str, LatencyHistogram]:
+        """Per-label sub-histograms of one op kind (per-tenant books)."""
+        histogram = self.latencies.get(kind)
+        return histogram.children() if histogram is not None else {}
+
+
+def merge_workload_reports(
+    reports: Sequence[WorkloadReport], mode: str = "merged"
+) -> WorkloadReport:
+    """Fold several replay reports into one (the chaos-segment merge).
+
+    Wall times and op counts add, error lists (and their typed kinds)
+    concatenate in order, per-kind latency histograms merge with their
+    labelled children intact, and the epoch observations replay into one
+    combined audit log.  Final state comes from the *last* report — the
+    segments are one trace replayed in order, so the last segment's
+    quiesced state is the run's.
+    """
+    if not reports:
+        raise ConfigurationError("cannot merge zero workload reports")
+    latencies: Dict[str, LatencyHistogram] = {}
+    op_counts: Dict[str, int] = {}
+    errors: List[str] = []
+    error_kinds: List[str] = []
+    epoch_log = EpochObservationLog()
+    wall = 0.0
+    for report in reports:
+        wall += report.wall_seconds
+        for kind, count in report.op_counts.items():
+            op_counts[kind] = op_counts.get(kind, 0) + count
+        for kind, histogram in report.latencies.items():
+            latencies.setdefault(kind, LatencyHistogram()).merge(histogram)
+        errors.extend(report.errors)
+        error_kinds.extend(report.error_kinds)
+        for reader, epoch in report.epoch_log.observations():
+            epoch_log.record(reader, epoch)
+    last = reports[-1]
+    return WorkloadReport(
+        mode=mode,
+        num_workers=max(report.num_workers for report in reports),
+        wall_seconds=wall,
+        op_counts=op_counts,
+        latencies=latencies,
+        errors=errors,
+        epoch_log=epoch_log,
+        final_epoch=last.final_epoch,
+        final_resources=last.final_resources,
+        cache_stats=last.cache_stats,
+        quiesce_seconds=last.quiesce_seconds,
+        error_kinds=error_kinds,
+    )
 
 
 class _MutationGate:
@@ -249,15 +359,20 @@ class WorkloadRunner:
         """
         epoch_log = EpochObservationLog()
         errors: List[str] = []
+        error_kinds: List[str] = []
         latencies = self._empty_latencies()
         started = time.perf_counter()
         for op in self.trace.operations:
-            self._execute(op, "serial", latencies, epoch_log, errors)
+            self._execute(
+                op, "serial", latencies, epoch_log, errors, error_kinds
+            )
         wall = time.perf_counter() - started
-        return self._finish("serial", 0, wall, latencies, epoch_log, errors)
+        return self._finish(
+            "serial", 0, wall, latencies, epoch_log, errors, error_kinds
+        )
 
     def run_concurrent(
-        self, num_workers: int, frontend=None
+        self, num_workers: int, frontend=None, pace: bool = False
     ) -> WorkloadReport:
         """Replay the trace across ``num_workers`` threads.
 
@@ -277,6 +392,13 @@ class WorkloadRunner:
         keep going straight to the engine — the front-end is a read-only
         surface.  The caller owns the front-end's lifecycle (it is not
         closed here).
+
+        With ``pace`` the workers honour each operation's
+        ``arrival_offset`` (the diurnal load-curve scenarios stamp one):
+        an operation is dispatched no earlier than ``offset`` seconds
+        after the replay started, so the trace's arrival *shape* — not
+        just its contents — reaches the engine.  Unstamped operations
+        (``arrival_offset < 0``) dispatch immediately.
         """
         if num_workers < 1:
             raise ConfigurationError(
@@ -284,10 +406,12 @@ class WorkloadRunner:
             )
         epoch_log = EpochObservationLog()
         errors: List[str] = []
+        error_kinds: List[str] = []
         errors_lock = threading.Lock()
         cursor = _SharedCursor(self.trace.operations)
         gate = _MutationGate()
         worker_latencies = [self._empty_latencies() for _ in range(num_workers)]
+        started = time.perf_counter()
 
         def worker(worker_id: int) -> None:
             latencies = worker_latencies[worker_id]
@@ -295,12 +419,19 @@ class WorkloadRunner:
                 op = cursor.next_op()
                 if op is None:
                     return
+                if pace and op.arrival_offset >= 0.0:
+                    # Arrival pacing models *when* traffic shows up, so
+                    # the sleep stays outside the timed region below.
+                    delay = started + op.arrival_offset - time.perf_counter()
+                    if delay > 0.0:
+                        time.sleep(delay)
                 self._execute(
                     op,
                     f"worker-{worker_id}",
                     latencies,
                     epoch_log,
                     errors,
+                    error_kinds,
                     errors_lock=errors_lock,
                     gate=gate,
                     frontend=frontend,
@@ -312,7 +443,6 @@ class WorkloadRunner:
             )
             for worker_id in range(num_workers)
         ]
-        started = time.perf_counter()
         for thread in threads:
             thread.start()
         for thread in threads:
@@ -324,7 +454,13 @@ class WorkloadRunner:
             for kind, histogram in latencies.items():
                 merged[kind].merge(histogram)
         return self._finish(
-            "concurrent", num_workers, wall, merged, epoch_log, errors
+            "concurrent",
+            num_workers,
+            wall,
+            merged,
+            epoch_log,
+            errors,
+            error_kinds,
         )
 
     # ------------------------------------------------------------------ #
@@ -341,6 +477,7 @@ class WorkloadRunner:
         latencies: Dict[str, LatencyHistogram],
         epoch_log: EpochObservationLog,
         errors: List[str],
+        error_kinds: List[str],
         errors_lock: Optional[threading.Lock] = None,
         gate: Optional[_MutationGate] = None,
         frontend=None,
@@ -353,9 +490,17 @@ class WorkloadRunner:
         try:
             if op.kind == QUERY:
                 if frontend is not None:
-                    response = frontend.submit(
-                        list(op.query_tags), top_k=op.top_k
-                    ).result()
+                    if op.tenant:
+                        future = frontend.submit(
+                            list(op.query_tags),
+                            top_k=op.top_k,
+                            tenant=op.tenant,
+                        )
+                    else:
+                        future = frontend.submit(
+                            list(op.query_tags), top_k=op.top_k
+                        )
+                    response = future.result()
                     epoch_log.record(reader, response.epoch)
                 else:
                     epoch, _results = self.engine.snapshot_rank_batch(
@@ -370,17 +515,21 @@ class WorkloadRunner:
                 self.engine.refresh()
             else:
                 raise ConfigurationError(f"unknown operation kind {op.kind!r}")
-        except Exception:  # noqa: BLE001 - replay must survive and report
+        except Exception as exc:  # noqa: BLE001 - replay must survive + report
             message = f"op {op.index} ({op.kind}): {traceback.format_exc()}"
             if errors_lock is None:
                 errors.append(message)
+                error_kinds.append(type(exc).__name__)
             else:
                 with errors_lock:
                     errors.append(message)
+                    error_kinds.append(type(exc).__name__)
         finally:
             if op.kind == MUTATE and gate is not None:
                 gate.complete()
-            latencies[op.kind].record(time.perf_counter() - started)
+            latencies[op.kind].record(
+                time.perf_counter() - started, label=op.tenant or None
+            )
 
     def _finish(
         self,
@@ -390,6 +539,7 @@ class WorkloadRunner:
         latencies: Dict[str, LatencyHistogram],
         epoch_log: EpochObservationLog,
         errors: List[str],
+        error_kinds: List[str],
     ) -> WorkloadReport:
         quiesce_started = time.perf_counter()
         self.engine.refresh()
@@ -407,6 +557,7 @@ class WorkloadRunner:
             final_resources=self.engine.num_indexed_resources,
             cache_stats=cache.stats() if cache is not None else None,
             quiesce_seconds=quiesce,
+            error_kinds=error_kinds,
         )
 
 

@@ -48,6 +48,14 @@ class Operation:
     ``mutation_seq`` — their zero-based position among the trace's
     mutations, which a concurrent replayer uses to apply them in exactly
     the serial order (queries carry no ordering constraint).
+
+    Scenario profiles (:mod:`repro.load.scenarios`) stamp two optional
+    annotations: ``tenant`` attributes the operation to a named client
+    (empty = untenanted), which the replay runner threads through
+    per-tenant admission and latency books; ``arrival_offset`` is the
+    operation's scheduled dispatch time in seconds from replay start
+    (negative = dispatch immediately), honoured when the runner replays
+    with ``pace=True``.
     """
 
     index: int
@@ -58,6 +66,8 @@ class Operation:
     updated: Dict[str, Dict[str, float]] = field(default_factory=dict)
     removed: Tuple[str, ...] = ()
     mutation_seq: int = -1
+    tenant: str = ""
+    arrival_offset: float = -1.0
 
 
 @dataclass(frozen=True)

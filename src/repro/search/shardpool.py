@@ -541,6 +541,25 @@ class ShardProcessPool:
                 raise ShardPoolError(f"shard {shard_id} worker is dead")
             worker.conn.send(("sleep", next(self._req_ids), float(seconds)))
 
+    def kill_worker(self, shard_id: int) -> None:
+        """Kill one worker process outright — a failure drill for crashes.
+
+        SIGKILL, not a clean stop: the handle is deliberately left in its
+        current state so the *read path* discovers the death (the closed
+        pipe surfaces as a typed ``"dead"`` :class:`ShardFailure` on the
+        next fan-out), exactly as a real OOM-kill or segfault would be
+        discovered.  Recover with :meth:`restart_worker`.  Used by the
+        chaos scenario; never call it in production serving.
+        """
+        worker = self._worker(shard_id)
+        with self._lock:
+            if worker.process is None or not worker.process.is_alive():
+                raise ShardPoolError(
+                    f"shard {shard_id} worker is not running; nothing to kill"
+                )
+            worker.process.kill()
+            worker.process.join(timeout=5.0)
+
     # ------------------------------------------------------------------ #
     # Reads
     # ------------------------------------------------------------------ #

@@ -77,12 +77,17 @@ class FrontendConfig:
     time the batcher thread is free forms the batch).  ``cache_entries``
     sizes the front-end-owned result cache and is only consulted when the
     engine does not bring its own (``0``/``None`` disables it).
+    ``tenant_max_pending`` caps how many tickets any one tenant-tagged
+    submitter may hold (``None`` disables per-tenant quotas), so a single
+    tenant's burst sheds against its own allowance before it can exhaust
+    ``max_pending`` for everyone.
     """
 
     max_batch_size: int = 32
     max_wait_ms: float = 2.0
     max_pending: int = 1024
     cache_entries: Optional[int] = DEFAULT_MAX_ENTRIES
+    tenant_max_pending: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -101,6 +106,11 @@ class FrontendConfig:
             raise ConfigurationError(
                 f"cache_entries must be >= 0, got {self.cache_entries}"
             )
+        if self.tenant_max_pending is not None and self.tenant_max_pending < 1:
+            raise ConfigurationError(
+                "tenant_max_pending must be >= 1, got "
+                f"{self.tenant_max_pending}"
+            )
 
 
 class QueryResponse(NamedTuple):
@@ -114,7 +124,7 @@ class QueryResponse(NamedTuple):
 class _Request:
     """One waiter: its query, its future, and when it entered the queue."""
 
-    __slots__ = ("key", "tags", "top_k", "future", "enqueued")
+    __slots__ = ("key", "tags", "top_k", "future", "enqueued", "tenant")
 
     def __init__(
         self,
@@ -123,12 +133,14 @@ class _Request:
         top_k: Optional[int],
         future: "Future[QueryResponse]",
         enqueued: float,
+        tenant: Optional[str] = None,
     ) -> None:
         self.key = key
         self.tags = tags
         self.top_k = top_k
         self.future = future
         self.enqueued = enqueued
+        self.tenant = tenant
 
 
 class BatchingFrontend:
@@ -165,7 +177,10 @@ class BatchingFrontend:
         self.config = config or FrontendConfig()
         self.metrics = metrics or MetricsRegistry()
         self.name = name
-        self.admission = AdmissionController(self.config.max_pending)
+        self.admission = AdmissionController(
+            self.config.max_pending,
+            tenant_max_pending=self.config.tenant_max_pending,
+        )
         engine_cache = getattr(engine, "cache", None)
         if engine_cache is not None:
             # The engine probes/fills its own cache inside the read lock
@@ -200,26 +215,32 @@ class BatchingFrontend:
         self,
         query_tags: Sequence[str],
         top_k: Optional[int] = None,
+        tenant: Optional[str] = None,
     ) -> "Future[QueryResponse]":
         """Enqueue one query; returns a future for its ranked results.
 
+        ``tenant`` attributes the request for per-tenant admission quotas
+        and stats; untagged requests count only against the global bound.
         Raises :class:`~repro.serve.admission.Overloaded` immediately when
-        the in-flight bound is hit (the request is shed, not queued) and
-        :class:`FrontendClosed` after :meth:`close`.
+        the in-flight bound (global or tenant quota) is hit — the request
+        is shed, not queued — and :class:`FrontendClosed` after
+        :meth:`close`.
         """
         validate_top_k(top_k)
         tags = list(query_tags)
         key = (tuple(sorted(tags)), top_k)
         try:
-            depth = self.admission.admit()
+            depth = self.admission.admit(tenant=tenant)
         except Exception:
             self.metrics.increment("shed")
             raise
         future: "Future[QueryResponse]" = Future()
-        request = _Request(key, tags, top_k, future, time.perf_counter())
+        request = _Request(
+            key, tags, top_k, future, time.perf_counter(), tenant=tenant
+        )
         with self._cond:
             if self._closed:
-                self.admission.release()
+                self.admission.release(tenant=tenant)
                 raise FrontendClosed(
                     f"front-end {self.name!r} is closed; no new queries"
                 )
@@ -253,6 +274,8 @@ class BatchingFrontend:
             "pending": self.admission.pending,
             "max_pending": self.admission.max_pending,
             "shed": self.admission.shed,
+            "tenant_max_pending": self.admission.tenant_max_pending,
+            "tenants": self.admission.tenant_stats(),
         }
         if self.cache is not None:
             payload["cache"] = self.cache.stats()
@@ -504,7 +527,7 @@ class BatchingFrontend:
             self._finish(request)
 
     def _finish(self, request: _Request) -> None:
-        depth = self.admission.release()
+        depth = self.admission.release(tenant=request.tenant)
         self.metrics.increment("completed")
         self.metrics.set_gauge("queue_depth", depth)
         self.metrics.observe_latency(
